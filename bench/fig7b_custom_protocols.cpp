@@ -1,0 +1,150 @@
+// Figure 7b reproduction: "Comparison of using a single (sequentially
+// consistent) protocol and application-specific protocols in Ace".
+//
+// Paper result (§5.2): speedups range from 1.02x (BSC — bulk transfer
+// already comes free with user-specified granularity) to 5x (EM3D with the
+// static update protocol), average about 2x.  §3.3 additionally reports
+// ~3.5x for EM3D under *dynamic* update, which we print as its own row.
+//
+// Usage: fig7b_custom_protocols [--procs=8] [--full] [--seed=N]
+
+#include <cstdio>
+
+#include "apps/barnes_hut.hpp"
+#include "apps/bsc.hpp"
+#include "apps/em3d.hpp"
+#include "apps/tsp.hpp"
+#include "apps/water.hpp"
+#include "bench/harness.hpp"
+#include "common/cli.hpp"
+
+namespace {
+
+using namespace apps;
+using bench::RunResult;
+
+struct Row {
+  std::string app;
+  std::string protocol;
+  RunResult sc;
+  RunResult custom;
+};
+
+void print(const std::vector<Row>& rows) {
+  ace::Table t({"app", "custom protocol", "SC modeled(s)", "custom modeled(s)",
+                "speedup", "SC msgs", "custom msgs"});
+  double geo = 1;
+  for (const auto& r : rows) {
+    const double sp = r.sc.modeled_s / r.custom.modeled_s;
+    geo *= sp;
+    t.add_row({r.app, r.protocol, ace::fmt_f(r.sc.modeled_s, 3),
+               ace::fmt_f(r.custom.modeled_s, 3), ace::fmt_f(sp, 2),
+               ace::fmt_i(static_cast<long long>(r.sc.msgs)),
+               ace::fmt_i(static_cast<long long>(r.custom.msgs))});
+  }
+  t.print();
+  std::printf("\ngeometric-mean speedup: %.2f (paper: ~2 on average, range "
+              "1.02-5)\n",
+              std::pow(geo, 1.0 / rows.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ace::Cli cli(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(cli.get_int("procs", 8));
+  const bool full = cli.get_bool("full", false);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  cli.finish();
+
+  std::printf(
+      "Figure 7b: single SC protocol vs application-specific protocols (Ace)\n"
+      "(procs=%u, %s inputs)\n\n",
+      procs, full ? "paper-scale" : "scaled");
+
+  std::vector<Row> rows;
+
+  {
+    BhParams p;
+    p.n_bodies = full ? 16384 : 2048;
+    p.steps = 4;
+    p.seed = seed;
+    Row row{"Barnes-Hut", "DynamicUpdate bodies + HomeWrite tree", {}, {}};
+    p.custom_protocols = false;
+    row.sc = bench::run_ace(procs, [&](AceApi& a) { bh_run(a, p); });
+    p.custom_protocols = true;
+    row.custom = bench::run_ace(procs, [&](AceApi& a) { bh_run(a, p); });
+    rows.push_back(row);
+  }
+  {
+    BscParams p;
+    p.n_block_cols = full ? 48 : 28;
+    p.block = full ? 32 : 20;
+    p.band = 6;
+    p.seed = seed;
+    Row row{"BSC", "HomeWrite (owner-writes)", {}, {}};
+    p.custom_protocols = false;
+    row.sc = bench::run_ace(procs, [&](AceApi& a) { bsc_run(a, p); });
+    p.custom_protocols = true;
+    row.custom = bench::run_ace(procs, [&](AceApi& a) { bsc_run(a, p); });
+    rows.push_back(row);
+  }
+  {
+    Em3dParams p;
+    p.n_e = p.n_h = full ? 1000 : 400;
+    p.degree = 10;
+    p.steps = full ? 100 : 40;
+    p.seed = seed;
+    p.protocol = "SC";
+    const RunResult sc =
+        bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); });
+    p.protocol = "DynamicUpdate";
+    Row dyn{"EM3D", "DynamicUpdate", sc, {}};
+    dyn.custom = bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); });
+    rows.push_back(dyn);
+    p.protocol = "StaticUpdate";
+    Row sta{"EM3D", "StaticUpdate", sc, {}};
+    sta.custom = bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); });
+    rows.push_back(sta);
+  }
+  {
+    // Parallel branch-and-bound is noisy (the shared bound races); sum over
+    // five instances so the comparison reflects protocol costs, not luck.
+    TspParams p;
+    p.n_cities = 12;
+    Row row{"TSP", "Counter (job tickets)", {}, {}};
+    for (std::uint64_t s = 0; s < 5; ++s) {
+      p.seed = seed + s;
+      p.custom_counter = false;
+      const auto a0 = bench::run_ace(procs, [&](AceApi& a) { tsp_run(a, p); });
+      p.custom_counter = true;
+      const auto a1 = bench::run_ace(procs, [&](AceApi& a) { tsp_run(a, p); });
+      row.sc.modeled_s += a0.modeled_s;
+      row.sc.wall_s += a0.wall_s;
+      row.sc.msgs += a0.msgs;
+      row.custom.modeled_s += a1.modeled_s;
+      row.custom.wall_s += a1.wall_s;
+      row.custom.msgs += a1.msgs;
+    }
+    rows.push_back(row);
+  }
+  {
+    WaterParams p;
+    p.n_mols = full ? 512 : 256;
+    p.steps = 3;
+    p.seed = seed;
+    Row row{"Water", "PipelinedWrite forces + HomeWrite pos + Null intra",
+            {}, {}};
+    p.custom_protocols = false;
+    row.sc = bench::run_ace(procs, [&](AceApi& a) { water_run(a, p); });
+    p.custom_protocols = true;
+    row.custom = bench::run_ace(procs, [&](AceApi& a) { water_run(a, p); });
+    rows.push_back(row);
+  }
+
+  print(rows);
+  std::printf(
+      "\nShape check vs paper (§3.3, §5.2): EM3D static ~5x > EM3D dynamic\n"
+      "~3.5x > Water ~2x > Barnes-Hut/TSP > BSC ~1.02x (marginal).\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared harness for the figure/table reproduction benches.
+//
+// Each experiment runs an application on a fresh simulated machine and
+// reports:
+//   * modeled time — the max per-processor virtual clock (CM-5-like cost
+//     model; the primary series, host-independent),
+//   * wall time — host seconds (informative only; everything serializes
+//     onto the host's cores),
+//   * transport counters (messages, MB moved).
+// EXPERIMENTS.md records the model constants and the paper-vs-measured
+// comparison for every row printed here.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "apps/api.hpp"
+#include "common/table.hpp"
+
+namespace bench {
+
+struct RunResult {
+  double modeled_s = 0;  ///< max virtual clock, seconds
+  double wall_s = 0;
+  std::uint64_t msgs = 0;
+  double mbytes = 0;
+};
+
+/// Run `fn` (an SPMD body using AceApi) on a fresh machine/runtime.
+inline RunResult run_ace(std::uint32_t procs,
+                         const std::function<void(apps::AceApi&)>& fn) {
+  ace::am::Machine machine(procs);
+  ace::Runtime rt(machine);
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.run([&](ace::RuntimeProc& rp) {
+    apps::AceApi api(rp);
+    fn(api);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.modeled_s = static_cast<double>(machine.max_vclock_ns()) * 1e-9;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const auto s = machine.aggregate_stats();
+  r.msgs = s.msgs_sent;
+  r.mbytes = static_cast<double>(s.bytes_sent) / 1e6;
+  return r;
+}
+
+/// Run `fn` (an SPMD body using CrlApi) on a fresh machine/CRL runtime.
+inline RunResult run_crl(std::uint32_t procs,
+                         const std::function<void(apps::CrlApi&)>& fn) {
+  ace::am::Machine machine(procs);
+  crl::CrlRuntime rt(machine);
+  const auto t0 = std::chrono::steady_clock::now();
+  rt.run([&](crl::CrlProc& cp) {
+    apps::CrlApi api(cp);
+    fn(api);
+  });
+  const auto t1 = std::chrono::steady_clock::now();
+  RunResult r;
+  r.modeled_s = static_cast<double>(machine.max_vclock_ns()) * 1e-9;
+  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const auto s = machine.aggregate_stats();
+  r.msgs = s.msgs_sent;
+  r.mbytes = static_cast<double>(s.bytes_sent) / 1e6;
+  return r;
+}
+
+}  // namespace bench

@@ -1,0 +1,78 @@
+// Microbenchmark: the space->protocol dispatch overhead (§4.2 "Avoiding
+// Dispatching Overhead", §5.1 "the additional indirection in the dispatch of
+// protocol calls in Ace nullifies the effects of the runtime system
+// optimizations" on BSC).
+//
+// Measures wall-clock cost of a start_read/end_read hit pair through
+// (a) the dispatching entry points, (b) the direct-call entry points the
+// compiler emits for a unique protocol, and (c) the raw protocol hook.
+
+#include <benchmark/benchmark.h>
+
+#include "ace/runtime.hpp"
+
+namespace {
+
+using namespace ace;
+
+struct Env {
+  am::Machine machine{1};
+  Runtime rt{machine};
+  RegionId id = 0;
+  void* ptr = nullptr;
+
+  Env() {
+    rt.run([&](RuntimeProc& rp) {
+      id = rp.gmalloc(kDefaultSpace, 64);
+      ptr = rp.map(id);
+    });
+  }
+
+  template <class Fn>
+  void with_proc(Fn&& fn) {
+    rt.run([&](RuntimeProc& rp) { fn(rp); });
+  }
+};
+
+void BM_DispatchedStartEnd(benchmark::State& state) {
+  Env env;
+  env.with_proc([&](RuntimeProc& rp) {
+    for (auto _ : state) {
+      rp.start_read(env.ptr);
+      rp.end_read(env.ptr);
+    }
+  });
+}
+BENCHMARK(BM_DispatchedStartEnd);
+
+void BM_DirectStartEnd(benchmark::State& state) {
+  Env env;
+  env.with_proc([&](RuntimeProc& rp) {
+    Region& r = rp.region_of(env.ptr);
+    Protocol& proto = rp.space(r.space()).protocol();
+    for (auto _ : state) {
+      rp.start_read_direct(r, proto);
+      rp.end_read_direct(r, proto);
+    }
+  });
+}
+BENCHMARK(BM_DirectStartEnd);
+
+void BM_RawProtocolHook(benchmark::State& state) {
+  Env env;
+  env.with_proc([&](RuntimeProc& rp) {
+    Region& r = rp.region_of(env.ptr);
+    Protocol& proto = rp.space(r.space()).protocol();
+    for (auto _ : state) {
+      proto.start_read(r);
+      r.active_readers += 1;
+      r.active_readers -= 1;
+      proto.end_read(r);
+    }
+  });
+}
+BENCHMARK(BM_RawProtocolHook);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// The paper's running example (§3.3, Figure 2): EM3D, developed under the
+// default sequentially consistent protocol and then optimized by *changing
+// two lines* — Ace_ChangeProtocol on the two spaces — exactly the
+// experiment the paper uses to demonstrate protocol libraries.
+//
+// Run:  ./examples/em3d [--procs=8] [--nodes=400] [--steps=40]
+
+#include <cstdio>
+
+#include "apps/em3d.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  ace::Cli cli(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(cli.get_int("procs", 8));
+  const auto nodes = static_cast<std::uint32_t>(cli.get_int("nodes", 400));
+  const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 40));
+  cli.finish();
+
+  apps::Em3dParams p;
+  p.n_e = p.n_h = nodes;
+  p.steps = steps;
+
+  std::printf("EM3D: %u+%u nodes, degree %u, %u steps, %u procs\n\n", p.n_e,
+              p.n_h, p.degree, p.steps, procs);
+
+  for (const char* protocol :
+       {"SC", "DynamicUpdate", "StaticUpdate"}) {
+    p.protocol = protocol;
+    ace::am::Machine machine(procs);
+    ace::Runtime rt(machine);
+    double checksum = 0;
+    rt.run([&](ace::RuntimeProc& rp) {
+      apps::AceApi api(rp);
+      const apps::Em3dResult r = apps::em3d_run(api, p);
+      if (rp.me() == 0) checksum = r.checksum;
+    });
+    const auto s = machine.aggregate_stats();
+    std::printf(
+        "%-14s checksum=%.6f  modeled=%7.1f ms  msgs=%8llu  MB=%6.2f\n",
+        protocol, checksum, machine.max_vclock_ns() / 1e6,
+        static_cast<unsigned long long>(s.msgs_sent), s.bytes_sent / 1e6);
+  }
+  std::printf(
+      "\nSame answers, very different costs: the §3.3 result — plugging in\n"
+      "an update protocol library is worth multiples of the default.\n");
+  return 0;
+}

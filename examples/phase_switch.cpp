@@ -1,0 +1,57 @@
+// Changing protocols at phase boundaries (§2.2): the Water pattern.
+//
+// "In Water, the program alternates between phases where intra-processor and
+// inter-processor calculations are made.  We have found that shifting
+// between a null protocol for the intra-processor phase, and an update
+// protocol tailored to the communication pattern of the inter-processor
+// phase has a speedup of two over a sequentially consistent execution."
+//
+// This example runs the actual Water application both ways and prints the
+// speedup.  "To our knowledge, no other system offers this capability."
+//
+// Run:  ./examples/phase_switch [--procs=8] [--mols=128] [--steps=3]
+
+#include <cstdio>
+
+#include "apps/water.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  ace::Cli cli(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(cli.get_int("procs", 8));
+  const auto mols = static_cast<std::uint32_t>(cli.get_int("mols", 128));
+  const auto steps = static_cast<std::uint32_t>(cli.get_int("steps", 3));
+  cli.finish();
+
+  apps::WaterParams p;
+  p.n_mols = mols;
+  p.steps = steps;
+
+  std::printf("Water: %u molecules, %u steps, %u procs\n\n", mols, steps,
+              procs);
+
+  double t_sc = 0, t_custom = 0;
+  for (int custom = 0; custom <= 1; ++custom) {
+    p.custom_protocols = custom != 0;
+    p.use_null_intra = true;
+    ace::am::Machine machine(procs);
+    ace::Runtime rt(machine);
+    double checksum = 0;
+    rt.run([&](ace::RuntimeProc& rp) {
+      apps::AceApi api(rp);
+      const apps::WaterResult r = apps::water_run(api, p);
+      checksum = r.checksum;
+    });
+    const double t = machine.max_vclock_ns() / 1e6;
+    (custom ? t_custom : t_sc) = t;
+    std::printf("%-42s checksum=%.9f  modeled=%.1f ms  msgs=%llu\n",
+                custom ? "Null intra / PipelinedWrite+HomeWrite inter"
+                       : "SC throughout",
+                checksum, t,
+                static_cast<unsigned long long>(
+                    machine.aggregate_stats().msgs_sent));
+  }
+  std::printf("\nspeedup from phase-switched protocols: %.2fx (paper: ~2x)\n",
+              t_sc / t_custom);
+  return 0;
+}

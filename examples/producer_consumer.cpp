@@ -1,0 +1,101 @@
+// Producer/consumer sharing under four protocols (§2.4: "we have found
+// producer-consumer protocols to be common ... the best implementation (and
+// semantics) of update protocols differs for each application").
+//
+// One producer rewrites a block of regions each round; all other processors
+// read every region each round.  The same loop runs under the default SC
+// protocol, DynamicUpdate (push on every write), StaticUpdate (learn the
+// consumer set once, push at barriers), and HomeWrite (consumers refetch in
+// bulk per round) — and the table shows why a protocol *library* matters:
+// the ranking depends on numbers a fixed-protocol system hard-codes.
+//
+// Run:  ./examples/producer_consumer [--procs=8] [--regions=32] [--rounds=20]
+
+#include <cstdio>
+
+#include "ace/runtime.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+using namespace ace;
+
+struct Result {
+  double modeled_ms;
+  std::uint64_t msgs;
+  std::uint64_t checksum;
+};
+
+Result run(const std::string& protocol, std::uint32_t procs,
+           std::uint32_t regions, std::uint32_t rounds) {
+  am::Machine machine(procs);
+  Runtime rt(machine);
+  std::uint64_t checksum = 0;
+  rt.run([&](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kSC);
+    std::vector<RegionId> ids(regions);
+    for (std::uint32_t r = 0; r < regions; ++r) {
+      RegionId id = dsm::kInvalidRegion;
+      if (rp.me() == 0) id = rp.gmalloc(sp, 64);
+      ids[r] = rp.bcast_region(id, 0);
+    }
+    rp.change_protocol(sp, protocol);
+    std::vector<std::uint64_t*> ptr(regions);
+    for (std::uint32_t r = 0; r < regions; ++r)
+      ptr[r] = static_cast<std::uint64_t*>(rp.map(ids[r]));
+
+    std::uint64_t sum = 0;
+    for (std::uint64_t round = 1; round <= rounds; ++round) {
+      if (rp.me() == 0) {
+        for (std::uint32_t r = 0; r < regions; ++r) {
+          rp.start_write(ptr[r]);
+          ptr[r][0] = round * 1000 + r;
+          rp.end_write(ptr[r]);
+        }
+      }
+      rp.ace_barrier(sp);
+      for (std::uint32_t r = 0; r < regions; ++r) {
+        rp.start_read(ptr[r]);
+        sum += ptr[r][0];
+        rp.end_read(ptr[r]);
+      }
+      rp.ace_barrier(sp);
+    }
+    if (rp.me() == 1) checksum = sum;
+  });
+  return {machine.max_vclock_ns() / 1e6,
+          machine.aggregate_stats().msgs_sent, checksum};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ace::Cli cli(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(cli.get_int("procs", 8));
+  const auto regions = static_cast<std::uint32_t>(cli.get_int("regions", 32));
+  const auto rounds = static_cast<std::uint32_t>(cli.get_int("rounds", 20));
+  cli.finish();
+
+  std::printf(
+      "Producer/consumer: 1 producer, %u consumers, %u regions, %u rounds\n\n",
+      procs - 1, regions, rounds);
+
+  ace::Table t({"protocol", "modeled (ms)", "messages", "consumer checksum"});
+  std::uint64_t want = 0;
+  for (const char* protocol :
+       {proto_names::kSC, proto_names::kDynamicUpdate,
+        proto_names::kStaticUpdate, proto_names::kHomeWrite}) {
+    const Result r = run(protocol, procs, regions, rounds);
+    if (want == 0) want = r.checksum;
+    ACE_CHECK_MSG(r.checksum == want, "protocols disagree on the data!");
+    t.add_row({protocol, ace::fmt_f(r.modeled_ms, 2),
+               ace::fmt_i(static_cast<long long>(r.msgs)),
+               ace::fmt_i(static_cast<long long>(r.checksum))});
+  }
+  t.print();
+  std::printf(
+      "\nAll four protocols deliver identical data; only the traffic and\n"
+      "the time differ.  That is the whole point of spaces (§2.2).\n");
+  return 0;
+}

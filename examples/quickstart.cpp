@@ -1,0 +1,80 @@
+// Quickstart: the Ace programming model in one page.
+//
+//   1. Start a simulated machine and the Ace runtime.
+//   2. Allocate shared regions from a space (default protocol: sequentially
+//      consistent invalidation) and exchange their ids.
+//   3. Access them with the paper's annotations — or, more comfortably,
+//      with the typed RAII layer (ReadGuard / WriteGuard / LockGuard).
+//   4. Look at what it cost: messages, misses, modeled time.
+//
+// Build & run:  ./examples/quickstart [--procs=4]
+
+#include <cstdio>
+
+#include "ace/runtime.hpp"
+#include "ace/typed.hpp"
+#include "common/cli.hpp"
+
+int main(int argc, char** argv) {
+  ace::Cli cli(argc, argv);
+  const auto procs = static_cast<std::uint32_t>(cli.get_int("procs", 4));
+  cli.finish();
+
+  ace::am::Machine machine(procs);
+  ace::Runtime rt(machine);
+
+  rt.run([](ace::RuntimeProc& rp) {
+    using namespace ace;  // the paper's C-style API lives in namespace ace
+    // --- a shared counter, incremented by everyone under a lock ---------
+    ace::global_ptr<std::uint64_t> counter;
+    if (rp.me() == 0) counter = ace::gmalloc<std::uint64_t>(ace::kDefaultSpace);
+    counter = ace::global_ptr<std::uint64_t>(
+        rp.bcast_region(counter.id(), 0));
+
+    for (int i = 0; i < 5; ++i) {
+      ace::LockGuard lock(counter);
+      ace::WriteGuard w(counter);
+      *w += 1;
+    }
+    rp.ace_barrier(ace::kDefaultSpace);
+
+    {
+      ace::ReadGuard r(counter);
+      if (rp.me() == 0)
+        std::printf("counter = %llu (expected %u)\n",
+                    static_cast<unsigned long long>(*r), 5 * rp.nprocs());
+    }
+
+    // --- the same thing with the paper's C-style annotations -------------
+    ace::RegionId arr_id = 0;
+    if (rp.me() == 0)
+      arr_id = Ace_GMalloc(ace::kDefaultSpace, rp.nprocs() * sizeof(double));
+    arr_id = rp.bcast_region(arr_id, 0);
+
+    auto* arr = static_cast<double*>(ACE_MAP(arr_id));
+    ACE_START_WRITE(arr);  // one writer at a time; whole-region granularity
+    arr[rp.me()] = 1.5 * rp.me();
+    ACE_END_WRITE(arr);
+    Ace_Barrier(ace::kDefaultSpace);
+
+    ACE_START_READ(arr);
+    double sum = 0;
+    for (std::uint32_t q = 0; q < rp.nprocs(); ++q) sum += arr[q];
+    ACE_END_READ(arr);
+    ACE_UNMAP(arr);
+
+    if (rp.me() == 0) std::printf("sum of slots = %.1f\n", sum);
+    rp.proc().barrier();
+  });
+
+  const auto stats = machine.aggregate_stats();
+  const auto dsm = rt.aggregate_dstats();
+  std::printf(
+      "cost: %llu messages, %llu read misses, %llu write misses, "
+      "modeled %.3f ms\n",
+      static_cast<unsigned long long>(stats.msgs_sent),
+      static_cast<unsigned long long>(dsm.read_misses),
+      static_cast<unsigned long long>(dsm.write_misses),
+      machine.max_vclock_ns() / 1e6);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// The Ace protocol interface — "full access control" (§2.1, §3.2).
+//
+// A protocol designer writes hooks for each access and synchronization
+// point: before/after read, before/after write, barrier, lock, unlock — plus
+// lifecycle hooks (region creation, mapping, space init, and the flush that
+// defines Ace_ChangeProtocol's transition semantics) and an Active-Message
+// entry point for the protocol's own coherence messages.
+//
+// One Protocol instance exists per (space, processor): the per-processor
+// instance holds that processor's protocol state for the space, while
+// per-region state lives in Region::pstate / Region::ext.  This is the
+// paper's "separate instances of the same protocol operate on different data
+// structures" (§2.2) made concrete.
+//
+// Hooks are invoked by the runtime's dispatch layer (ACE_START_READ etc. look
+// up the region's space, then the space's protocol — §4.1), or directly when
+// the compiler's direct-call optimization applies (§4.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "am/message.hpp"
+#include "dsm/region.hpp"
+
+namespace ace {
+
+class RuntimeProc;
+class Space;
+
+using dsm::Region;
+using dsm::RegionId;
+
+/// Which hooks a protocol implements (the Figure-1 registration fields).
+/// A cleared bit means the hook is null: the compiler's direct-call pass
+/// deletes calls to it outright.
+enum HookBit : unsigned {
+  kHookStartRead = 1u << 0,
+  kHookEndRead = 1u << 1,
+  kHookStartWrite = 1u << 2,
+  kHookEndWrite = 1u << 3,
+  kHookBarrier = 1u << 4,
+  kHookLock = 1u << 5,
+  kHookUnlock = 1u << 6,
+};
+
+inline constexpr unsigned kAllHooks =
+    kHookStartRead | kHookEndRead | kHookStartWrite | kHookEndWrite |
+    kHookBarrier | kHookLock | kHookUnlock;
+
+/// Static description of a protocol — the contents of the registration
+/// script in Figure 1: name, hook points, and whether the protocol's
+/// semantics permit the compiler's code-motion optimizations (§4.2: "we
+/// allow protocol writers to specify, when registering a protocol, whether a
+/// protocol's semantics allow optimizations").
+struct ProtocolInfo {
+  std::string name;
+  unsigned hooks = kAllHooks;
+  bool optimizable = false;
+  /// Footnote 1 of §4.2: "a possible optimization is to allow protocol
+  /// designers to specify whether a protocol's semantics allow reads and
+  /// writes to be merged."  When set, the MC pass may delete an
+  /// END_READ/START_WRITE (or END_WRITE/START_READ) pair on the same region,
+  /// extending one access episode across both modes.  Safe only when the
+  /// protocol's write path does not depend on a fresh start (e.g. HomeWrite,
+  /// whose writes are plain home-local stores) — NOT for PipelinedWrite,
+  /// whose start_write re-initializes the accumulation scratch.
+  bool merge_rw = false;
+};
+
+class Protocol {
+ public:
+  Protocol(RuntimeProc& rp, std::uint32_t space_id)
+      : rp_(rp), space_id_(space_id) {}
+  virtual ~Protocol() = default;
+  Protocol(const Protocol&) = delete;
+  Protocol& operator=(const Protocol&) = delete;
+
+  virtual const ProtocolInfo& info() const = 0;
+
+  // --- access hooks ------------------------------------------------------
+  virtual void start_read(Region&) {}
+  virtual void end_read(Region&) {}
+  virtual void start_write(Region&) {}
+  virtual void end_write(Region&) {}
+
+  // --- synchronization hooks ----------------------------------------------
+  /// Default: a plain machine barrier.  Update-style protocols override to
+  /// push/flush before synchronizing.
+  virtual void barrier();
+  /// Default: the system's home-side queue lock.
+  virtual void lock(Region&);
+  virtual void unlock(Region&);
+
+  // --- lifecycle hooks ----------------------------------------------------
+  virtual void region_created(Region&) {}
+  virtual void mapped(Region&) {}
+  virtual void unmapped(Region&) {}
+  /// Ace_ChangeProtocol semantics are defined by the *old* protocol (§3.1):
+  /// bring every region of the space back to the base state (all data valid
+  /// at its home, no remote copies, no protocol metadata).  Called on every
+  /// processor, bracketed by machine barriers.
+  virtual void flush(Space&) {}
+  /// Called after this protocol is installed on a space (Ace_NewSpace or the
+  /// tail of Ace_ChangeProtocol).
+  virtual void init(Space&) {}
+
+  // --- protocol messages ---------------------------------------------------
+  /// Region-targeted protocol message.  `op` and `m.args[2..5]` are
+  /// protocol-defined; `m.payload` carries region data.
+  virtual void on_message(Region&, std::uint32_t op, am::Message& m);
+
+ protected:
+  RuntimeProc& rp_;
+  std::uint32_t space_id_;
+};
+
+}  // namespace ace

@@ -1,0 +1,91 @@
+#include "ace/registry.hpp"
+
+#include "ace/config.hpp"
+#include "protocols/counter.hpp"
+#include "protocols/dynamic_update.hpp"
+#include "protocols/home_write.hpp"
+#include "protocols/migratory.hpp"
+#include "protocols/null_protocol.hpp"
+#include "protocols/pipelined_write.hpp"
+#include "protocols/race_check.hpp"
+#include "protocols/sc_invalidate.hpp"
+#include "protocols/static_update.hpp"
+
+namespace ace {
+
+void Registry::add(ProtocolInfo info, Factory factory) {
+  ACE_CHECK_MSG(!info.name.empty(), "protocol must have a name");
+  const std::string name = info.name;  // key must outlive the move below
+  const auto [it, inserted] =
+      entries_.emplace(name, Entry{std::move(info), std::move(factory)});
+  ACE_CHECK_MSG(inserted, "duplicate protocol registration");
+  (void)it;
+}
+
+bool Registry::contains(const std::string& name) const {
+  return entries_.count(name) != 0;
+}
+
+const ProtocolInfo& Registry::info(const std::string& name) const {
+  auto it = entries_.find(name);
+  ACE_CHECK_MSG(it != entries_.end(), "unknown protocol name");
+  return it->second.info;
+}
+
+std::vector<std::string> Registry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+std::unique_ptr<Protocol> Registry::create(const std::string& name,
+                                           RuntimeProc& rp,
+                                           std::uint32_t space_id) const {
+  auto it = entries_.find(name);
+  ACE_CHECK_MSG(it != entries_.end(), "unknown protocol name");
+  return it->second.factory(rp, space_id);
+}
+
+namespace {
+
+template <class P>
+void add_builtin(Registry& reg) {
+  reg.add(P::static_info(), [](RuntimeProc& rp, std::uint32_t space_id) {
+    return std::make_unique<P>(rp, space_id);
+  });
+}
+
+}  // namespace
+
+Registry Registry::with_builtins() {
+  Registry reg;
+  add_builtin<protocols::ScInvalidate>(reg);
+  add_builtin<protocols::NullProtocol>(reg);
+  add_builtin<protocols::DynamicUpdate>(reg);
+  add_builtin<protocols::StaticUpdate>(reg);
+  add_builtin<protocols::Migratory>(reg);
+  add_builtin<protocols::HomeWrite>(reg);
+  add_builtin<protocols::PipelinedWrite>(reg);
+  add_builtin<protocols::CounterProtocol>(reg);
+  add_builtin<protocols::RaceCheck>(reg);
+
+  // Cross-check against the system configuration file: the compiler's view
+  // of each protocol (hooks, optimizability) must match the runtime's, or
+  // the direct-call pass would delete calls that are not actually null.
+  ConfigError err;
+  const auto cfg = parse_config(default_config_text(), &err);
+  ACE_CHECK_MSG(!cfg.empty(), "default protocols.cfg failed to parse");
+  for (const auto& info : cfg) {
+    ACE_CHECK_MSG(reg.contains(info.name),
+                  "protocols.cfg names a protocol the registry lacks");
+    const ProtocolInfo& builtin = reg.info(info.name);
+    ACE_CHECK_MSG(builtin.hooks == info.hooks &&
+                      builtin.optimizable == info.optimizable &&
+                      builtin.merge_rw == info.merge_rw,
+                  "protocols.cfg disagrees with a builtin's static_info");
+  }
+  return reg;
+}
+
+}  // namespace ace

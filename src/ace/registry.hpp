@@ -1,0 +1,67 @@
+// Protocol registry — the runtime half of the paper's registration scheme.
+//
+// In the paper, a protocol is added by running a Tcl script that records the
+// protocol's name, its hook points, and its optimizability into a *system
+// configuration file*; the compiler reads that file to know the available
+// protocols and their handler names (Figure 1).  Here the registry plays the
+// runtime role (name -> factory + ProtocolInfo) and ace/config.hpp plays the
+// file role: the shipped `protocols.cfg` is parsed into the same ProtocolInfo
+// records and cross-checked against the registry in tests, and the compiler
+// (src/acec) consumes the parsed configuration for its direct-call pass.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ace/protocol.hpp"
+
+namespace ace {
+
+class RuntimeProc;
+
+class Registry {
+ public:
+  using Factory =
+      std::function<std::unique_ptr<Protocol>(RuntimeProc&, std::uint32_t)>;
+
+  /// Register a protocol.  `info.name` is the lookup key; registering a
+  /// duplicate name is a configuration error.
+  void add(ProtocolInfo info, Factory factory);
+
+  bool contains(const std::string& name) const;
+  const ProtocolInfo& info(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+  std::unique_ptr<Protocol> create(const std::string& name, RuntimeProc& rp,
+                                   std::uint32_t space_id) const;
+
+  /// A registry pre-loaded with the protocol library shipped with Ace:
+  /// SC (default), Null, DynamicUpdate, StaticUpdate, Migratory, HomeWrite,
+  /// PipelinedWrite, Counter, RaceCheck.
+  static Registry with_builtins();
+
+ private:
+  struct Entry {
+    ProtocolInfo info;
+    Factory factory;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+/// Canonical protocol names (string keys into the registry and the config).
+namespace proto_names {
+inline constexpr const char* kSC = "SC";
+inline constexpr const char* kNull = "Null";
+inline constexpr const char* kDynamicUpdate = "DynamicUpdate";
+inline constexpr const char* kStaticUpdate = "StaticUpdate";
+inline constexpr const char* kMigratory = "Migratory";
+inline constexpr const char* kHomeWrite = "HomeWrite";
+inline constexpr const char* kPipelinedWrite = "PipelinedWrite";
+inline constexpr const char* kCounter = "Counter";
+inline constexpr const char* kRaceCheck = "RaceCheck";
+}  // namespace proto_names
+
+}  // namespace ace

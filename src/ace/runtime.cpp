@@ -1,0 +1,499 @@
+#include "ace/runtime.hpp"
+
+#include <cstring>
+
+namespace ace {
+
+namespace {
+thread_local RuntimeProc* tls_rproc = nullptr;
+
+RuntimeProc& rproc_of(am::Proc& p) {
+  auto* rp = static_cast<RuntimeProc*>(p.ctx(am::kCtxAce));
+  ACE_CHECK_MSG(rp != nullptr, "Ace runtime not attached to this processor");
+  return *rp;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+double bits_double(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+}  // namespace
+
+void DsmStats::merge(const DsmStats& o) {
+  gmallocs += o.gmallocs;
+  maps += o.maps;
+  map_meta_misses += o.map_meta_misses;
+  unmaps += o.unmaps;
+  start_reads += o.start_reads;
+  read_misses += o.read_misses;
+  start_writes += o.start_writes;
+  write_misses += o.write_misses;
+  barriers += o.barriers;
+  locks += o.locks;
+  unlocks += o.unlocks;
+  invalidations += o.invalidations;
+  recalls += o.recalls;
+  updates += o.updates;
+  fetches += o.fetches;
+  flushes += o.flushes;
+}
+
+// ---------------------------------------------------------------------------
+// Runtime (machine-wide)
+// ---------------------------------------------------------------------------
+
+Runtime::Runtime(am::Machine& machine, Registry registry)
+    : machine_(machine), registry_(std::move(registry)) {
+  rprocs_.resize(machine.nprocs());
+
+  h_map_req_ = machine_.register_handler(
+      [](am::Proc& p, am::Message& m) { rproc_of(p).handle_map_req(m); });
+
+  h_map_ack_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
+    RuntimeProc& rp = rproc_of(p);
+    Region* r = rp.find_region(m.args[0]);
+    ACE_CHECK_MSG(r != nullptr, "MAP_ACK for unknown region");
+    r->set_meta(static_cast<std::uint32_t>(m.args[1]),
+                static_cast<std::uint32_t>(m.args[2]));
+    r->op_done = true;
+  });
+
+  h_lock_req_ = machine_.register_handler(
+      [](am::Proc& p, am::Message& m) { rproc_of(p).handle_lock_req(m); });
+
+  h_lock_grant_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
+    RuntimeProc& rp = rproc_of(p);
+    Region& r = rp.find_or_create_remote(m.args[0]);
+    r.op_done = true;
+  });
+
+  h_unlock_ = machine_.register_handler(
+      [](am::Proc& p, am::Message& m) { rproc_of(p).handle_unlock(m); });
+
+  h_proto_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
+    RuntimeProc& rp = rproc_of(p);
+    Region& r = rp.find_or_create_remote(m.args[0]);
+    Space& sp = rp.space(static_cast<SpaceId>(m.args[2]));
+    sp.protocol().on_message(r, static_cast<std::uint32_t>(m.args[1]), m);
+  });
+
+  h_bcast_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
+    RuntimeProc& rp = rproc_of(p);
+    ACE_CHECK_MSG(!rp.coll_.flag, "overlapping collectives");
+    rp.coll_.buf = std::move(m.payload);
+    rp.coll_.flag = true;
+  });
+
+  h_gather_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
+    RuntimeProc& rp = rproc_of(p);
+    rp.coll_.arrived += 1;
+    if (m.args[1] == 0)
+      rp.coll_.sum += bits_double(m.args[0]);
+    else
+      rp.coll_.min = std::min(rp.coll_.min, m.args[0]);
+  });
+}
+
+void Runtime::run(const std::function<void(RuntimeProc&)>& fn) {
+  machine_.run([this, &fn](am::Proc& p) {
+    auto& slot = rprocs_[p.id()];
+    if (!slot) slot = std::make_unique<RuntimeProc>(*this, p);
+    tls_rproc = slot.get();
+    fn(*slot);
+    tls_rproc = nullptr;
+  });
+}
+
+RuntimeProc& Runtime::cur() {
+  ACE_CHECK_MSG(tls_rproc != nullptr,
+                "Ace API called outside Runtime::run processor thread");
+  return *tls_rproc;
+}
+
+DsmStats Runtime::aggregate_dstats() const {
+  DsmStats s;
+  for (const auto& rp : rprocs_)
+    if (rp) s.merge(rp->dstats_);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// RuntimeProc
+// ---------------------------------------------------------------------------
+
+RuntimeProc::RuntimeProc(Runtime& rt, am::Proc& proc)
+    : rt_(rt), proc_(proc), mapper_(regions_) {
+  proc_.set_ctx(am::kCtxAce, this);
+  // The default space with the default sequentially consistent protocol.
+  spaces_.push_back(std::make_unique<Space>(
+      kDefaultSpace, proto_names::kSC,
+      rt_.registry().create(proto_names::kSC, *this, kDefaultSpace)));
+  spaces_.back()->protocol().init(*spaces_.back());
+}
+
+RuntimeProc::~RuntimeProc() { proc_.set_ctx(am::kCtxAce, nullptr); }
+
+ProcId RuntimeProc::me() const { return proc_.id(); }
+std::uint32_t RuntimeProc::nprocs() const { return proc_.nprocs(); }
+const am::CostModel& RuntimeProc::cost() const {
+  return proc_.machine().cost();
+}
+
+Space& RuntimeProc::space(SpaceId s) {
+  ACE_CHECK_MSG(s < spaces_.size(), "unknown space id");
+  return *spaces_[s];
+}
+
+Protocol& RuntimeProc::protocol_of(Region& r) {
+  return space(r.space()).protocol();
+}
+
+SpaceId RuntimeProc::new_space(const std::string& protocol) {
+  // Collective by construction: every processor executes the same sequence
+  // of Ace_NewSpace calls (SPMD), so ids agree machine-wide.
+  const auto id = static_cast<SpaceId>(spaces_.size());
+  spaces_.push_back(std::make_unique<Space>(
+      id, protocol, rt_.registry().create(protocol, *this, id)));
+  spaces_.back()->protocol().init(*spaces_.back());
+  return id;
+}
+
+void RuntimeProc::change_protocol(SpaceId s, const std::string& protocol) {
+  Space& sp = space(s);
+  // Quiesce: every processor reaches the change point before anyone flushes.
+  proc_.barrier();
+  sp.protocol().flush(sp);
+  // One-hop flush lemma: any message sent before a processor enters the
+  // machine barrier is handled by its destination before that destination
+  // leaves the barrier (FIFO mailboxes + centralized release), so after this
+  // barrier all flush traffic has been applied at the homes.
+  proc_.barrier();
+  regions_.for_each_in_space(s, [&](Region& r) {
+    ACE_CHECK_MSG(r.active_readers == 0 && r.active_writers == 0,
+                  "ChangeProtocol with accesses in progress");
+    ACE_CHECK_MSG(!r.lock || !r.lock->held, "ChangeProtocol with a held lock");
+    r.reset_protocol_state();
+  });
+  sp.set_protocol(protocol, rt_.registry().create(protocol, *this, s));
+  sp.protocol().init(sp);
+  proc_.barrier();
+}
+
+RegionId RuntimeProc::gmalloc(SpaceId s, std::uint32_t size) {
+  ACE_CHECK_MSG(size > 0, "Ace_GMalloc of zero bytes");
+  space(s);  // validates the space id
+  dstats_.gmallocs += 1;
+  const RegionId id = dsm::make_region_id(me(), next_seq_++);
+  Region& r = regions_.create_home(id, size, s);
+  r.data();  // allocate the master copy eagerly: handlers serve it unmapped
+  protocol_of(r).region_created(r);
+  return id;
+}
+
+void* RuntimeProc::map(RegionId id) {
+  proc_.poll();  // CRL's discipline: service requests at protocol entry
+  dstats_.maps += 1;
+  proc_.charge(cost().map_fast_ns);
+  Region* r = mapper_.lookup(id);
+  if (r == nullptr) {
+    ACE_CHECK_MSG(dsm::region_home(id) != me(), "mapping an unknown home id");
+    r = &regions_.create_remote(id);
+    mapper_.remember(id, r);
+  }
+  if (!r->meta_valid()) {
+    dstats_.map_meta_misses += 1;
+    blocking_request(*r, [&] {
+      proc_.send(dsm::region_home(id), rt_.h_map_req_, {id});
+    });
+  }
+  void* p = r->data();
+  r->map_count += 1;
+  protocol_of(*r).mapped(*r);
+  return p;
+}
+
+void RuntimeProc::unmap(void* mapped) {
+  Region& r = region_of(mapped);
+  ACE_CHECK_MSG(r.map_count > 0, "ACE_UNMAP without a matching ACE_MAP");
+  dstats_.unmaps += 1;
+  proc_.charge(cost().op_hit_ns);
+  r.map_count -= 1;
+  protocol_of(r).unmapped(r);
+}
+
+void RuntimeProc::start_read(void* mapped) {
+  proc_.poll();
+  Region& r = region_of(mapped);
+  dstats_.start_reads += 1;
+  proc_.charge(cost().dispatch_ns + cost().op_hit_ns);
+  protocol_of(r).start_read(r);
+  r.active_readers += 1;
+}
+
+void RuntimeProc::end_read(void* mapped) {
+  Region& r = region_of(mapped);
+  ACE_CHECK_MSG(r.active_readers > 0, "ACE_END_READ without start");
+  proc_.charge(cost().dispatch_ns + cost().op_hit_ns);
+  r.active_readers -= 1;
+  protocol_of(r).end_read(r);
+}
+
+void RuntimeProc::start_write(void* mapped) {
+  proc_.poll();
+  Region& r = region_of(mapped);
+  dstats_.start_writes += 1;
+  proc_.charge(cost().dispatch_ns + cost().op_hit_ns);
+  protocol_of(r).start_write(r);
+  r.active_writers += 1;
+}
+
+void RuntimeProc::end_write(void* mapped) {
+  Region& r = region_of(mapped);
+  // A read-opened episode may be closed by END_WRITE when the compiler's
+  // read/write merging applied (ProtocolInfo::merge_rw, §4.2 footnote 1).
+  ACE_CHECK_MSG(r.active_writers > 0 || r.active_readers > 0,
+                "ACE_END_WRITE without start");
+  proc_.charge(cost().dispatch_ns + cost().op_hit_ns);
+  if (r.active_writers > 0)
+    r.active_writers -= 1;
+  else
+    r.active_readers -= 1;
+  protocol_of(r).end_write(r);
+}
+
+void RuntimeProc::start_read_direct(Region& r, Protocol& proto) {
+  dstats_.start_reads += 1;
+  proc_.charge(cost().direct_call_ns + cost().op_hit_ns);
+  proto.start_read(r);
+  r.active_readers += 1;
+}
+
+void RuntimeProc::end_read_direct(Region& r, Protocol& proto) {
+  ACE_CHECK_MSG(r.active_readers > 0, "direct END_READ without start");
+  proc_.charge(cost().direct_call_ns + cost().op_hit_ns);
+  r.active_readers -= 1;
+  proto.end_read(r);
+}
+
+void RuntimeProc::start_write_direct(Region& r, Protocol& proto) {
+  dstats_.start_writes += 1;
+  proc_.charge(cost().direct_call_ns + cost().op_hit_ns);
+  proto.start_write(r);
+  r.active_writers += 1;
+}
+
+void RuntimeProc::end_write_direct(Region& r, Protocol& proto) {
+  ACE_CHECK_MSG(r.active_writers > 0, "direct END_WRITE without start");
+  proc_.charge(cost().direct_call_ns + cost().op_hit_ns);
+  r.active_writers -= 1;
+  proto.end_write(r);
+}
+
+void RuntimeProc::ace_barrier(SpaceId s) {
+  dstats_.barriers += 1;
+  proc_.charge(cost().dispatch_ns);
+  space(s).protocol().barrier();
+}
+
+void RuntimeProc::ace_lock(void* mapped) {
+  Region& r = region_of(mapped);
+  dstats_.locks += 1;
+  proc_.charge(cost().dispatch_ns);
+  protocol_of(r).lock(r);
+}
+
+void RuntimeProc::ace_unlock(void* mapped) {
+  Region& r = region_of(mapped);
+  dstats_.unlocks += 1;
+  proc_.charge(cost().dispatch_ns);
+  protocol_of(r).unlock(r);
+}
+
+// --- system default lock (home-side queue) --------------------------------
+
+void RuntimeProc::lock_grant_local(Region& r, ProcId requester) {
+  dsm::LockState& ls = r.lock_state();
+  if (!ls.held) {
+    ls.held = true;
+    ls.holder = requester;
+    if (requester == me())
+      r.op_done = true;
+    else
+      proc_.send(requester, rt_.h_lock_grant_, {r.id()});
+  } else {
+    ls.waiters.push_back(requester);
+  }
+}
+
+void RuntimeProc::lock_release_local(Region& r, ProcId from) {
+  dsm::LockState& ls = r.lock_state();
+  ACE_CHECK_MSG(ls.held && ls.holder == from, "unlock by non-holder");
+  if (ls.waiters.empty()) {
+    ls.held = false;
+    ls.holder = dsm::kNoProc;
+  } else {
+    const ProcId next = ls.waiters.front();
+    ls.waiters.pop_front();
+    ls.holder = next;
+    if (next == me())
+      r.op_done = true;
+    else
+      proc_.send(next, rt_.h_lock_grant_, {r.id()});
+  }
+}
+
+void RuntimeProc::sys_lock(Region& r) {
+  if (r.is_home()) {
+    r.op_done = false;
+    lock_grant_local(r, me());
+    proc_.wait_until([&r] { return r.op_done; });
+  } else {
+    blocking_request(
+        r, [&] { proc_.send(r.home_proc(), rt_.h_lock_req_, {r.id()}); });
+  }
+}
+
+void RuntimeProc::sys_unlock(Region& r) {
+  if (r.is_home())
+    lock_release_local(r, me());
+  else
+    proc_.send(r.home_proc(), rt_.h_unlock_, {r.id()});
+}
+
+void RuntimeProc::handle_map_req(am::Message& m) {
+  Region* r = find_region(m.args[0]);
+  ACE_CHECK_MSG(r != nullptr && r->is_home(), "MAP_REQ for unknown region");
+  proc_.send(m.src, rt_.h_map_ack_, {r->id(), r->size(), r->space()});
+}
+
+void RuntimeProc::handle_lock_req(am::Message& m) {
+  Region* r = find_region(m.args[0]);
+  ACE_CHECK_MSG(r != nullptr && r->is_home(), "LOCK_REQ for unknown region");
+  lock_grant_local(*r, m.src);
+}
+
+void RuntimeProc::handle_unlock(am::Message& m) {
+  Region* r = find_region(m.args[0]);
+  ACE_CHECK_MSG(r != nullptr && r->is_home(), "UNLOCK for unknown region");
+  lock_release_local(*r, m.src);
+}
+
+// --- protocol services ------------------------------------------------------
+
+void RuntimeProc::send_proto(ProcId dst, RegionId region, std::uint32_t op,
+                             std::uint64_t a, std::uint64_t b,
+                             std::vector<std::byte> payload) {
+  Region* r = find_region(region);
+  ACE_CHECK_MSG(r != nullptr && r->meta_valid(),
+                "send_proto on a region without local metadata");
+  proc_.send(dst, rt_.h_proto_, {region, op, r->space(), a, b},
+             std::move(payload));
+}
+
+Region& RuntimeProc::find_or_create_remote(RegionId id) {
+  Region* r = regions_.find(id);
+  if (r == nullptr) {
+    ACE_CHECK_MSG(dsm::region_home(id) != me(),
+                  "message names a home region this processor never created");
+    r = &regions_.create_remote(id);
+  }
+  return *r;
+}
+
+void RuntimeProc::install_data(Region& r, const std::vector<std::byte>& payload) {
+  ACE_CHECK_MSG(r.meta_valid() && payload.size() == r.size(),
+                "data payload does not match region size");
+  std::memcpy(r.data(), payload.data(), payload.size());
+  r.version += 1;
+}
+
+std::vector<std::byte> RuntimeProc::snapshot(Region& r) {
+  std::vector<std::byte> out(r.size());
+  std::memcpy(out.data(), r.data(), r.size());
+  return out;
+}
+
+// --- collectives -------------------------------------------------------------
+
+void RuntimeProc::bcast_bytes(void* data, std::uint32_t n, ProcId root) {
+  if (me() == root) {
+    std::vector<std::byte> payload(n);
+    std::memcpy(payload.data(), data, n);
+    for (ProcId p = 0; p < nprocs(); ++p)
+      if (p != me()) proc_.send(p, rt_.h_bcast_, {}, payload);
+  } else {
+    proc_.wait_until([this] { return coll_.flag; });
+    ACE_CHECK_MSG(coll_.buf.size() == n, "bcast size mismatch");
+    std::memcpy(data, coll_.buf.data(), n);
+    coll_.flag = false;
+    coll_.buf.clear();
+  }
+  proc_.barrier();  // separate successive collectives
+}
+
+RegionId RuntimeProc::bcast_region(RegionId id, ProcId root) {
+  bcast_bytes(&id, sizeof id, root);
+  return id;
+}
+
+double RuntimeProc::allreduce_sum(double v) {
+  if (me() == 0) {
+    coll_.sum += v;
+    coll_.arrived += 1;
+    proc_.wait_until([this] { return coll_.arrived == nprocs(); });
+    v = coll_.sum;
+    coll_.sum = 0;
+    coll_.arrived = 0;
+  } else {
+    proc_.send(0, rt_.h_gather_, {double_bits(v), 0});
+  }
+  bcast_bytes(&v, sizeof v, 0);
+  return v;
+}
+
+std::uint64_t RuntimeProc::allreduce_min(std::uint64_t v) {
+  if (me() == 0) {
+    coll_.min = std::min(coll_.min, v);
+    coll_.arrived += 1;
+    proc_.wait_until([this] { return coll_.arrived == nprocs(); });
+    v = coll_.min;
+    coll_.min = UINT64_MAX;
+    coll_.arrived = 0;
+  } else {
+    proc_.send(0, rt_.h_gather_, {v, 1});
+  }
+  bcast_bytes(&v, sizeof v, 0);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// The paper's C-style API (Table 2 / Figure 3)
+// ---------------------------------------------------------------------------
+
+SpaceId Ace_NewSpace(const std::string& protocol) {
+  return Runtime::cur().new_space(protocol);
+}
+void Ace_ChangeProtocol(SpaceId space, const std::string& protocol) {
+  Runtime::cur().change_protocol(space, protocol);
+}
+RegionId Ace_GMalloc(SpaceId space, std::uint32_t size) {
+  return Runtime::cur().gmalloc(space, size);
+}
+void Ace_Barrier(SpaceId space) { Runtime::cur().ace_barrier(space); }
+void Ace_Lock(void* mapped) { Runtime::cur().ace_lock(mapped); }
+void Ace_UnLock(void* mapped) { Runtime::cur().ace_unlock(mapped); }
+void* ACE_MAP(RegionId id) { return Runtime::cur().map(id); }
+void ACE_UNMAP(void* mapped) { Runtime::cur().unmap(mapped); }
+void ACE_START_READ(void* mapped) { Runtime::cur().start_read(mapped); }
+void ACE_END_READ(void* mapped) { Runtime::cur().end_read(mapped); }
+void ACE_START_WRITE(void* mapped) { Runtime::cur().start_write(mapped); }
+void ACE_END_WRITE(void* mapped) { Runtime::cur().end_write(mapped); }
+
+}  // namespace ace

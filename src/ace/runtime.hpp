@@ -1,0 +1,240 @@
+// The Ace runtime (§4.1): spaces, the annotation primitives (ACE_MAP,
+// ACE_START_READ, ...), space->protocol dispatch, the default system
+// synchronization (barriers, home-side queue locks), and collective helpers.
+//
+// One `Runtime` exists per machine; one `RuntimeProc` per processor.  Apps
+// written against the paper's C API use the free functions at the bottom
+// (Ace_GMalloc, ACE_MAP, ...), which route through the calling thread's
+// RuntimeProc; library-style C++ code can use RuntimeProc methods and the
+// typed layer in ace/typed.hpp directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ace/protocol.hpp"
+#include "ace/registry.hpp"
+#include "am/machine.hpp"
+#include "dsm/mapper.hpp"
+#include "dsm/region.hpp"
+
+namespace ace {
+
+using dsm::Region;
+using dsm::RegionId;
+using am::ProcId;
+using SpaceId = std::uint32_t;
+
+/// The default space (sequentially consistent invalidation protocol),
+/// available without any Ace_NewSpace call (§3.1).
+inline constexpr SpaceId kDefaultSpace = 0;
+
+/// DSM-level operation counters, per processor.  These are the quantities
+/// the paper's protocols trade against each other; the bench harnesses print
+/// them next to modeled/wall time.
+struct DsmStats {
+  std::uint64_t gmallocs = 0;
+  std::uint64_t maps = 0;
+  std::uint64_t map_meta_misses = 0;
+  std::uint64_t unmaps = 0;
+  std::uint64_t start_reads = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t start_writes = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t barriers = 0;
+  std::uint64_t locks = 0;
+  std::uint64_t unlocks = 0;
+  std::uint64_t invalidations = 0;  ///< INV messages sent (home side)
+  std::uint64_t recalls = 0;        ///< owner recalls issued (home side)
+  std::uint64_t updates = 0;        ///< update/push data messages sent
+  std::uint64_t fetches = 0;        ///< data fetch replies served (home side)
+  std::uint64_t flushes = 0;        ///< regions flushed by ChangeProtocol
+
+  void merge(const DsmStats& o);
+};
+
+/// A space: the indirection between data structures and protocols (§2.2).
+/// Holds this processor's protocol instance for the space.
+class Space {
+ public:
+  Space(SpaceId id, std::string proto_name, std::unique_ptr<Protocol> proto)
+      : id_(id), proto_name_(std::move(proto_name)), proto_(std::move(proto)) {}
+
+  SpaceId id() const { return id_; }
+  const std::string& protocol_name() const { return proto_name_; }
+  Protocol& protocol() { return *proto_; }
+
+  void set_protocol(std::string name, std::unique_ptr<Protocol> p) {
+    proto_name_ = std::move(name);
+    proto_ = std::move(p);
+  }
+
+ private:
+  SpaceId id_;
+  std::string proto_name_;
+  std::unique_ptr<Protocol> proto_;
+};
+
+class Runtime;
+
+/// Per-processor half of the runtime.  All methods must be called from the
+/// owning processor's thread (SPMD model, one user thread per processor).
+class RuntimeProc {
+ public:
+  RuntimeProc(Runtime& rt, am::Proc& proc);
+  ~RuntimeProc();
+
+  // --- the Ace library routines (Table 2) --------------------------------
+  SpaceId new_space(const std::string& protocol);           // collective
+  void change_protocol(SpaceId s, const std::string& protocol);  // collective
+  RegionId gmalloc(SpaceId s, std::uint32_t size);
+  void ace_barrier(SpaceId s);
+  void ace_lock(void* mapped);
+  void ace_unlock(void* mapped);
+
+  // --- the runtime annotations (Figure 3) --------------------------------
+  void* map(RegionId id);
+  void unmap(void* mapped);
+  void start_read(void* mapped);
+  void end_read(void* mapped);
+  void start_write(void* mapped);
+  void end_write(void* mapped);
+
+  // --- direct-call variants (the compiler's "Avoiding Dispatching
+  // Overhead" optimization, §4.2: dispatch replaced by a direct call to the
+  // unique protocol's routine).  The caller has already resolved `proto`.
+  void start_read_direct(Region& r, Protocol& proto);
+  void end_read_direct(Region& r, Protocol& proto);
+  void start_write_direct(Region& r, Protocol& proto);
+  void end_write_direct(Region& r, Protocol& proto);
+
+  // --- collectives (runtime-provided conveniences for SPMD apps) ---------
+  void bcast_bytes(void* data, std::uint32_t n, ProcId root);
+  RegionId bcast_region(RegionId id, ProcId root);
+  double allreduce_sum(double v);
+  std::uint64_t allreduce_min(std::uint64_t v);
+
+  // --- services for protocol implementations ------------------------------
+  am::Proc& proc() { return proc_; }
+  Runtime& runtime() { return rt_; }
+  ProcId me() const;
+  std::uint32_t nprocs() const;
+  const am::CostModel& cost() const;
+  DsmStats& dstats() { return dstats_; }
+  Space& space(SpaceId s);
+  dsm::RegionSet& regions() { return regions_; }
+
+  /// Send a protocol message: delivered to the destination's instance of the
+  /// protocol of `space_of_region`, with the (possibly placeholder) region.
+  void send_proto(ProcId dst, RegionId region, std::uint32_t op,
+                  std::uint64_t a = 0, std::uint64_t b = 0,
+                  std::vector<std::byte> payload = {});
+
+  /// Run a blocking request: clears r.op_done, runs `send` (which should
+  /// issue the request), then polls until a handler sets r.op_done.
+  /// Charges the requester the modeled network round trip it stalls for.
+  template <class SendFn>
+  void blocking_request(Region& r, SendFn&& send) {
+    r.op_done = false;
+    send();
+    proc_.charge_rtt();
+    proc_.wait_until([&r] { return r.op_done; });
+  }
+
+  Region& region_of(void* mapped) { return *Region::from_data(mapped); }
+  Region* find_region(RegionId id) { return regions_.find(id); }
+  Region& find_or_create_remote(RegionId id);
+
+  /// Copy a message payload into the region's buffer and bump its version.
+  void install_data(Region& r, const std::vector<std::byte>& payload);
+  /// Copy the region's buffer out for a data message.
+  std::vector<std::byte> snapshot(Region& r);
+
+  /// The system's default queue lock (home-side queue; used by
+  /// Protocol::lock/unlock unless a protocol overrides them).
+  void sys_lock(Region& r);
+  void sys_unlock(Region& r);
+
+ private:
+  friend class Runtime;
+
+  Protocol& protocol_of(Region& r);
+  void handle_map_req(am::Message& m);
+  void handle_lock_req(am::Message& m);
+  void handle_unlock(am::Message& m);
+  void lock_grant_local(Region& r, ProcId requester);
+  void lock_release_local(Region& r, ProcId from);
+
+  Runtime& rt_;
+  am::Proc& proc_;
+  dsm::RegionSet regions_;
+  dsm::FastMapper mapper_;
+  std::vector<std::unique_ptr<Space>> spaces_;
+  std::uint64_t next_seq_ = 1;
+  DsmStats dstats_;
+
+  // Collective scratch state (one outstanding collective at a time).
+  struct Collective {
+    bool flag = false;
+    std::vector<std::byte> buf;
+    std::uint32_t arrived = 0;
+    double sum = 0;
+    std::uint64_t min = UINT64_MAX;
+  } coll_;
+};
+
+/// Machine-wide runtime: owns the registry, the AM handler ids, and the
+/// per-processor RuntimeProcs (which persist across run() calls so that
+/// multi-phase tests and benches can reuse one machine).
+class Runtime {
+ public:
+  explicit Runtime(am::Machine& machine,
+                   Registry registry = Registry::with_builtins());
+
+  am::Machine& machine() { return machine_; }
+  const Registry& registry() const { return registry_; }
+
+  /// Run `fn` on every processor with its RuntimeProc bound to the thread.
+  void run(const std::function<void(RuntimeProc&)>& fn);
+
+  /// The RuntimeProc bound to the calling thread (valid inside run()).
+  static RuntimeProc& cur();
+
+  DsmStats aggregate_dstats() const;
+
+ private:
+  friend class RuntimeProc;
+  am::Machine& machine_;
+  Registry registry_;
+  std::vector<std::unique_ptr<RuntimeProc>> rprocs_;
+
+  am::HandlerId h_map_req_ = 0;
+  am::HandlerId h_map_ack_ = 0;
+  am::HandlerId h_lock_req_ = 0;
+  am::HandlerId h_lock_grant_ = 0;
+  am::HandlerId h_unlock_ = 0;
+  am::HandlerId h_proto_ = 0;
+  am::HandlerId h_bcast_ = 0;
+  am::HandlerId h_gather_ = 0;
+};
+
+// --- the paper's C-style API (Table 2 / Figure 3), routed through the
+// calling processor thread's RuntimeProc --------------------------------
+using ::ace::SpaceId;
+
+SpaceId Ace_NewSpace(const std::string& protocol);
+void Ace_ChangeProtocol(SpaceId space, const std::string& protocol);
+RegionId Ace_GMalloc(SpaceId space, std::uint32_t size);
+void Ace_Barrier(SpaceId space);
+void Ace_Lock(void* mapped);
+void Ace_UnLock(void* mapped);
+void* ACE_MAP(RegionId id);
+void ACE_UNMAP(void* mapped);
+void ACE_START_READ(void* mapped);
+void ACE_END_READ(void* mapped);
+void ACE_START_WRITE(void* mapped);
+void ACE_END_WRITE(void* mapped);
+
+}  // namespace ace

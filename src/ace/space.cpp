@@ -1,0 +1,20 @@
+// Default protocol hook implementations ("null or default protocol routines
+// may be specified", §3.2): a plain machine barrier and the system's
+// home-side queue lock.
+
+#include "ace/protocol.hpp"
+#include "ace/runtime.hpp"
+
+namespace ace {
+
+void Protocol::barrier() { rp_.proc().barrier(); }
+
+void Protocol::lock(Region& r) { rp_.sys_lock(r); }
+
+void Protocol::unlock(Region& r) { rp_.sys_unlock(r); }
+
+void Protocol::on_message(Region&, std::uint32_t, am::Message&) {
+  ACE_CHECK_MSG(false, "protocol received a message it does not handle");
+}
+
+}  // namespace ace

@@ -1,0 +1,126 @@
+// The typed layer: Ace's linguistic mechanism expressed in C++.
+//
+// The paper extends C with a `shared` qualifier and compile-time type
+// checking of shared accesses ("the presence of compile-time type checking
+// makes Ace considerably easier to use", §1.1).  The natural C++ rendering is
+// a typed global pointer plus RAII access guards:
+//
+//   * global_ptr<T>   — a typed, copyable name for a region holding T[n];
+//                       the paper's `shared T *`.  Like the paper, pointers
+//                       always refer to the *base* of a region (§3.1 bans
+//                       interior pointers), so indexing is bounds-checked
+//                       against the region size in debug builds.
+//   * ReadGuard<T>    — ACE_MAP + ACE_START_READ on construction,
+//                       ACE_END_READ + ACE_UNMAP on destruction.
+//   * WriteGuard<T>   — the write-mode equivalent.
+//
+// Guards make the paper's "full access control" impossible to misuse: the
+// after-access hook always runs, which is exactly the capability access-fault
+// schemes cannot express (§2.1's dynamic-update example).
+#pragma once
+
+#include "ace/runtime.hpp"
+
+namespace ace {
+
+template <class T>
+class global_ptr {
+ public:
+  static_assert(std::is_trivially_copyable_v<T>,
+                "shared regions move by memcpy; T must be trivially copyable");
+
+  global_ptr() = default;
+  explicit global_ptr(RegionId id) : id_(id) {}
+
+  RegionId id() const { return id_; }
+  bool null() const { return id_ == dsm::kInvalidRegion; }
+
+  friend bool operator==(global_ptr a, global_ptr b) { return a.id_ == b.id_; }
+
+ private:
+  RegionId id_ = dsm::kInvalidRegion;
+};
+
+/// Allocate a region holding `count` T's from `space` (Ace_GMalloc).
+template <class T>
+global_ptr<T> gmalloc(SpaceId space, std::uint32_t count = 1) {
+  return global_ptr<T>(Runtime::cur().gmalloc(
+      space, static_cast<std::uint32_t>(sizeof(T) * count)));
+}
+
+template <class T>
+class ReadGuard {
+ public:
+  explicit ReadGuard(global_ptr<T> p) : rp_(&Runtime::cur()) {
+    data_ = static_cast<const T*>(rp_->map(p.id()));
+    rp_->start_read(const_cast<T*>(data_));
+  }
+  ~ReadGuard() {
+    rp_->end_read(const_cast<T*>(data_));
+    rp_->unmap(const_cast<T*>(data_));
+  }
+  ReadGuard(const ReadGuard&) = delete;
+  ReadGuard& operator=(const ReadGuard&) = delete;
+
+  const T& operator*() const { return data_[0]; }
+  const T* operator->() const { return data_; }
+  const T& operator[](std::size_t i) const {
+    ACE_DCHECK(sizeof(T) * (i + 1) <=
+               Region::from_data(const_cast<T*>(data_))->size());
+    return data_[i];
+  }
+  const T* get() const { return data_; }
+
+ private:
+  RuntimeProc* rp_;
+  const T* data_;
+};
+
+template <class T>
+class WriteGuard {
+ public:
+  explicit WriteGuard(global_ptr<T> p) : rp_(&Runtime::cur()) {
+    data_ = static_cast<T*>(rp_->map(p.id()));
+    rp_->start_write(data_);
+  }
+  ~WriteGuard() {
+    rp_->end_write(data_);
+    rp_->unmap(data_);
+  }
+  WriteGuard(const WriteGuard&) = delete;
+  WriteGuard& operator=(const WriteGuard&) = delete;
+
+  T& operator*() const { return data_[0]; }
+  T* operator->() const { return data_; }
+  T& operator[](std::size_t i) const {
+    ACE_DCHECK(sizeof(T) * (i + 1) <= Region::from_data(data_)->size());
+    return data_[i];
+  }
+  T* get() const { return data_; }
+
+ private:
+  RuntimeProc* rp_;
+  T* data_;
+};
+
+/// RAII lock guard over the system/protocol lock of a region.
+template <class T>
+class LockGuard {
+ public:
+  explicit LockGuard(global_ptr<T> p) : rp_(&Runtime::cur()) {
+    mapped_ = rp_->map(p.id());
+    rp_->ace_lock(mapped_);
+  }
+  ~LockGuard() {
+    rp_->ace_unlock(mapped_);
+    rp_->unmap(mapped_);
+  }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  RuntimeProc* rp_;
+  void* mapped_;
+};
+
+}  // namespace ace

@@ -1,0 +1,170 @@
+#include "acec/analysis.hpp"
+
+#include <algorithm>
+
+namespace ace::ir {
+
+namespace {
+
+/// Abstract space identifier: concrete SpaceIds as-is; kNewSpace sites get
+/// synthetic ids above kSynthetic.
+using AbsSpace = std::int64_t;
+constexpr AbsSpace kSynthetic = 1'000'000;
+
+struct State {
+  /// Register -> abstract spaces its region/pointer/space value may name.
+  std::map<std::int32_t, std::set<AbsSpace>> regs;
+  /// Abstract space -> possible protocol indices.
+  std::map<AbsSpace, std::set<std::int64_t>> protos;
+
+  bool merge_from(const State& o) {
+    bool changed = false;
+    for (const auto& [r, s] : o.regs) {
+      auto& mine = regs[r];
+      for (AbsSpace a : s) changed |= mine.insert(a).second;
+    }
+    for (const auto& [sp, ps] : o.protos) {
+      auto& mine = protos[sp];
+      for (auto p : ps) changed |= mine.insert(p).second;
+    }
+    return changed;
+  }
+};
+
+/// Abstract spaces named by a space operand (register a, else concrete imm2).
+std::set<AbsSpace> space_operand(const State& st, const Inst& inst) {
+  if (inst.a >= 0) {
+    auto it = st.regs.find(inst.a);
+    return it == st.regs.end() ? std::set<AbsSpace>{} : it->second;
+  }
+  return {static_cast<AbsSpace>(inst.imm2)};
+}
+
+}  // namespace
+
+AnalysisResult analyze(
+    const Function& f,
+    const std::map<SpaceId, std::set<std::string>>& space_protocols,
+    const Registry& registry) {
+  validate(f);
+  AnalysisResult result;
+  result.per_inst.resize(f.code.size());
+
+  State init;
+  for (const auto& [space, protos] : space_protocols)
+    for (const auto& name : protos)
+      init.protos[static_cast<AbsSpace>(space)].insert(proto_index_of(name));
+
+  // Loop structure: matching begin/end indices.
+  std::vector<std::size_t> match(f.code.size(), 0);
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (f.code[i].op == Op::kLoopBegin) stack.push_back(i);
+      if (f.code[i].op == Op::kLoopEnd) {
+        match[stack.back()] = i;
+        match[i] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Loop-head states for back-edge merging.
+  std::map<std::size_t, State> head_state;
+
+  const int kMaxSweeps = 16;
+  bool changed = true;
+  for (int sweep = 0; sweep < kMaxSweeps && changed; ++sweep) {
+    changed = false;
+    // Recompute access facts from scratch each sweep; the last (stable)
+    // sweep's answers are the result.
+    result.per_inst.assign(f.code.size(), AccessInfo{});
+    State st = init;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const Inst& inst = f.code[i];
+      if (inst.op == Op::kLoopBegin) {
+        // Merge the incoming state with whatever reached the loop end in
+        // the previous sweep (the back edge).
+        State& head = head_state[i];
+        head.merge_from(st);
+        if (st.merge_from(head)) changed = true;
+      }
+
+      auto record_access = [&](std::int32_t region_reg) {
+        AccessInfo& info = result.per_inst[i];
+        auto it = st.regs.find(region_reg);
+        if (it == st.regs.end()) return;
+        bool all_opt = true;
+        bool all_mrw = true;
+        for (AbsSpace sp : it->second) {
+          auto pit = st.protos.find(sp);
+          if (pit == st.protos.end()) continue;
+          for (auto p : pit->second) {
+            const std::string& name =
+                proto_index()[static_cast<std::size_t>(p)];
+            info.protocols.insert(name);
+            if (!registry.info(name).optimizable) all_opt = false;
+            if (!registry.info(name).merge_rw) all_mrw = false;
+          }
+        }
+        info.all_optimizable = all_opt && !info.protocols.empty();
+        info.all_merge_rw = all_mrw && !info.protocols.empty();
+      };
+
+      switch (inst.op) {
+        case Op::kParamRegion:
+        case Op::kParamRegionIdx:
+          st.regs[inst.dst] = {
+              static_cast<AbsSpace>(f.table_space[
+                  static_cast<std::size_t>(inst.imm)])};
+          break;
+        case Op::kNewSpace: {
+          const AbsSpace sp = kSynthetic + static_cast<AbsSpace>(i);
+          st.regs[inst.dst] = {sp};
+          st.protos[sp] = {inst.imm};
+          break;
+        }
+        case Op::kChangeProtocol: {
+          const auto spaces = space_operand(st, inst);
+          if (spaces.size() == 1) {
+            st.protos[*spaces.begin()] = {inst.imm};  // strong update
+          } else {
+            for (AbsSpace sp : spaces) st.protos[sp].insert(inst.imm);
+          }
+          break;
+        }
+        case Op::kGMallocR:
+          st.regs[inst.dst] = space_operand(st, inst);
+          break;
+        case Op::kCopy:
+        case Op::kMap:
+          if (st.regs.count(inst.a)) st.regs[inst.dst] = st.regs[inst.a];
+          if (inst.op == Op::kMap) record_access(inst.a);
+          break;
+        case Op::kLoadShared:
+        case Op::kStoreShared:
+          record_access(inst.a);
+          break;
+        case Op::kStartRead:
+        case Op::kEndRead:
+        case Op::kStartWrite:
+        case Op::kEndWrite:
+        case Op::kLoadPtr:
+        case Op::kStorePtr:
+          record_access(inst.a);
+          break;
+        case Op::kLoopEnd: {
+          // Feed the back edge: the state here flows to the loop head.
+          State& head = head_state[match[i]];
+          if (head.merge_from(st)) changed = true;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ace::ir

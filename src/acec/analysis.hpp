@@ -1,0 +1,52 @@
+// The compiler's dataflow analysis (§4.2): "before any optimizations can be
+// performed ... it is necessary to determine, for each access, the set of
+// spaces that are possibly associated with the data being accessed, and the
+// set of possible protocols of each space at that access."
+//
+// We run a flow-sensitive forward analysis over the structured IR:
+//
+//   * region/pointer registers map to sets of *abstract spaces* — concrete
+//     SpaceIds for kernel parameters (the allocation-site facts the paper's
+//     interprocedural phase derives from Ace_GMalloc) plus one synthetic
+//     space per kNewSpace site;
+//   * each abstract space maps to the set of protocols it may be running,
+//     seeded from the kernel signature and transformed by kChangeProtocol
+//     (strong update when the space is uniquely known, weak otherwise);
+//   * loop back-edges merge the loop-entry state with the loop-end state,
+//     iterated to a fixpoint.
+//
+// The result — per access, the set of possible protocols — gates every
+// optimization: code motion requires all candidates optimizable, and the
+// direct-call pass requires a singleton.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "acec/ir.hpp"
+
+namespace ace::ir {
+
+struct AccessInfo {
+  std::set<std::string> protocols;  ///< possible protocols at this access
+  bool all_optimizable = false;
+  bool all_merge_rw = false;  ///< §4.2 footnote 1: read/write merging legal
+  bool singleton() const { return protocols.size() == 1; }
+};
+
+struct AnalysisResult {
+  /// Indexed by instruction; meaningful only for access/annotation ops
+  /// (kMap, kStart*, kEnd*, kLoadShared, kStoreShared).
+  std::vector<AccessInfo> per_inst;
+};
+
+/// `space_protocols`: the protocol set each concrete space (named in
+/// Function::table_space or used via imm2 space operands) may be running
+/// when the kernel starts.
+AnalysisResult analyze(const Function& f,
+                       const std::map<SpaceId, std::set<std::string>>&
+                           space_protocols,
+                       const Registry& registry);
+
+}  // namespace ace::ir

@@ -1,0 +1,46 @@
+#include "acec/annotate.hpp"
+
+namespace ace::ir {
+
+Function annotate(const Function& f) {
+  validate(f);
+  Function out;
+  out.name = f.name + ".annotated";
+  out.n_regs = f.n_regs;
+  out.table_space = f.table_space;
+  for (const auto& inst : f.code) {
+    switch (inst.op) {
+      case Op::kLoadShared: {
+        const std::int32_t t = out.reg();
+        out.emit({.op = Op::kMap, .dst = t, .a = inst.a});
+        out.emit({.op = Op::kStartRead, .a = t});
+        out.emit({.op = Op::kLoadPtr, .dst = inst.dst, .a = t, .b = inst.b});
+        out.emit({.op = Op::kEndRead, .a = t});
+        break;
+      }
+      case Op::kStoreShared: {
+        const std::int32_t t = out.reg();
+        out.emit({.op = Op::kMap, .dst = t, .a = inst.a});
+        out.emit({.op = Op::kStartWrite, .a = t});
+        out.emit({.op = Op::kStorePtr, .a = t, .b = inst.b, .c = inst.c});
+        out.emit({.op = Op::kEndWrite, .a = t});
+        break;
+      }
+      case Op::kMap:
+      case Op::kStartRead:
+      case Op::kEndRead:
+      case Op::kStartWrite:
+      case Op::kEndWrite:
+      case Op::kLoadPtr:
+      case Op::kStorePtr:
+        ACE_CHECK_MSG(false, "annotate expects language-level IR");
+        break;
+      default:
+        out.emit(inst);
+    }
+  }
+  validate(out);
+  return out;
+}
+
+}  // namespace ace::ir

@@ -1,0 +1,24 @@
+// The annotator: the compiler stage that translates language-level shared
+// accesses into runtime annotations (§4.2, Figure 5).
+//
+// For a load `dst = region(a)[b]` it emits exactly the paper's sequence:
+//
+//   t1 = ACE_MAP(a)          (kMap)
+//   ACE_START_READ(t1)       (kStartRead)
+//   dst = t1[b]              (kLoadPtr)
+//   ACE_END_READ(t1)         (kEndRead)
+//
+// and symmetrically for stores.  This is the *base case* of Table 4:
+// "considerable overhead can be added for each access to shared memory" —
+// the three optimization passes in passes.hpp then claw the overhead back.
+#pragma once
+
+#include "acec/ir.hpp"
+
+namespace ace::ir {
+
+/// Returns a new function with every kLoadShared/kStoreShared expanded into
+/// the Figure-5 annotation sequence.  All other instructions pass through.
+Function annotate(const Function& f);
+
+}  // namespace ace::ir

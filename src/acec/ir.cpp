@@ -1,0 +1,137 @@
+#include "acec/ir.hpp"
+
+#include <map>
+
+namespace ace::ir {
+
+const std::vector<std::string>& proto_index() {
+  static const std::vector<std::string> names = {
+      proto_names::kSC,           proto_names::kNull,
+      proto_names::kDynamicUpdate, proto_names::kStaticUpdate,
+      proto_names::kMigratory,    proto_names::kHomeWrite,
+      proto_names::kPipelinedWrite, proto_names::kCounter,
+      proto_names::kRaceCheck,
+  };
+  return names;
+}
+
+std::int64_t proto_index_of(const std::string& name) {
+  const auto& idx = proto_index();
+  for (std::size_t i = 0; i < idx.size(); ++i)
+    if (idx[i] == name) return static_cast<std::int64_t>(i);
+  ACE_CHECK_MSG(false, "unknown protocol name in IR");
+  return -1;
+}
+
+namespace {
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kConstI: return "const_i";
+    case Op::kConstF: return "const_f";
+    case Op::kCopy: return "copy";
+    case Op::kAddI: return "add_i";
+    case Op::kSubI: return "sub_i";
+    case Op::kMulI: return "mul_i";
+    case Op::kAddF: return "add_f";
+    case Op::kSubF: return "sub_f";
+    case Op::kMulF: return "mul_f";
+    case Op::kDivF: return "div_f";
+    case Op::kF2I: return "f2i";
+    case Op::kParamI: return "param_i";
+    case Op::kParamRegion: return "param_region";
+    case Op::kParamRegionIdx: return "param_region_idx";
+    case Op::kParamFIdx: return "param_f_idx";
+    case Op::kLoadShared: return "load_shared";
+    case Op::kStoreShared: return "store_shared";
+    case Op::kMap: return "map";
+    case Op::kStartRead: return "start_read";
+    case Op::kEndRead: return "end_read";
+    case Op::kStartWrite: return "start_write";
+    case Op::kEndWrite: return "end_write";
+    case Op::kLoadPtr: return "load_ptr";
+    case Op::kStorePtr: return "store_ptr";
+    case Op::kNewSpace: return "new_space";
+    case Op::kChangeProtocol: return "change_protocol";
+    case Op::kGMallocR: return "gmalloc";
+    case Op::kLoopBegin: return "loop_begin";
+    case Op::kLoopEnd: return "loop_end";
+    case Op::kBarrier: return "barrier";
+    case Op::kCharge: return "charge";
+  }
+  return "?";
+}
+
+bool defines(const Inst& i) {
+  switch (i.op) {
+    case Op::kStoreShared:
+    case Op::kStartRead:
+    case Op::kEndRead:
+    case Op::kStartWrite:
+    case Op::kEndWrite:
+    case Op::kStorePtr:
+    case Op::kChangeProtocol:
+    case Op::kLoopEnd:
+    case Op::kBarrier:
+    case Op::kCharge:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+void validate(const Function& f) {
+  int depth = 0;
+  std::vector<bool> defined(static_cast<std::size_t>(f.n_regs), false);
+  auto check_use = [&](std::int32_t r, const char* what) {
+    if (r < 0) return;
+    ACE_CHECK_MSG(r < f.n_regs, "IR register out of range");
+    ACE_CHECK_MSG(defined[static_cast<std::size_t>(r)], what);
+  };
+  for (const auto& inst : f.code) {
+    check_use(inst.a, "IR register used before definition (a)");
+    check_use(inst.b, "IR register used before definition (b)");
+    check_use(inst.c, "IR register used before definition (c)");
+    if (inst.op == Op::kLoopBegin) depth += 1;
+    if (inst.op == Op::kLoopEnd) {
+      depth -= 1;
+      ACE_CHECK_MSG(depth >= 0, "unbalanced loop_end");
+    }
+    if (defines(inst) && inst.dst >= 0) {
+      ACE_CHECK_MSG(inst.dst < f.n_regs, "IR dst register out of range");
+      defined[static_cast<std::size_t>(inst.dst)] = true;
+    }
+    if (inst.op == Op::kParamRegion || inst.op == Op::kParamRegionIdx)
+      ACE_CHECK_MSG(static_cast<std::size_t>(inst.imm) < f.table_space.size(),
+                    "region table index out of range");
+  }
+  ACE_CHECK_MSG(depth == 0, "unbalanced loop_begin");
+}
+
+std::string to_string(const Function& f) {
+  std::string out = "function " + f.name + "\n";
+  int depth = 0;
+  for (const auto& inst : f.code) {
+    if (inst.op == Op::kLoopEnd) depth -= 1;
+    for (int i = 0; i < depth + 1; ++i) out += "  ";
+    char buf[160];
+    std::snprintf(buf, sizeof buf, "%s%s dst=%d a=%d b=%d c=%d imm=%lld\n",
+                  op_name(inst.op), inst.direct ? "[direct]" : "", inst.dst,
+                  inst.a, inst.b, inst.c,
+                  static_cast<long long>(inst.imm));
+    out += buf;
+    if (inst.op == Op::kLoopBegin) depth += 1;
+  }
+  return out;
+}
+
+std::size_t count_ops(const Function& f, Op op) {
+  std::size_t n = 0;
+  for (const auto& inst : f.code)
+    if (inst.op == op) ++n;
+  return n;
+}
+
+}  // namespace ace::ir

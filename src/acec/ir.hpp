@@ -1,0 +1,118 @@
+// The Ace compiler's intermediate representation.
+//
+// The real Ace compiler is built on SUIF (§4.2); what Table 4 measures is
+// the effect of its three optimization passes on the *annotations* the
+// compiler inserts around shared accesses.  This IR reproduces exactly that
+// layer: a register machine with structured loops, shared loads/stores that
+// the annotator (annotate.hpp) expands into the Figure-5 sequence
+// (ACE_MAP / ACE_START_* / pointer access / ACE_END_*), and the space and
+// protocol operations the dataflow analysis (analysis.hpp) tracks.
+//
+// Programs here are the *kernels* of the five benchmark applications; the
+// interpreter (interp.hpp) executes them against the real Ace runtime, so
+// the per-optimization deltas in bench/table4_compiler_opts have the same
+// cause as the paper's: fewer protocol calls, cheaper dispatches, deleted
+// null handlers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ace/runtime.hpp"
+
+namespace ace::ir {
+
+enum class Op : std::uint8_t {
+  // Values.
+  kConstI,         ///< dst = imm
+  kConstF,         ///< dst = fimm
+  kCopy,           ///< dst = a
+  kAddI,           ///< dst = a + b
+  kSubI,           ///< dst = a - b
+  kMulI,           ///< dst = a * b
+  kAddF,           ///< dst = a + b (doubles)
+  kSubF,           ///< dst = a - b
+  kMulF,           ///< dst = a * b
+  kDivF,           ///< dst = a / b
+  kF2I,            ///< dst = (int64)a  (doubles carrying indices)
+
+  // Kernel parameters.
+  kParamI,         ///< dst = int parameter [imm]
+  kParamRegion,    ///< dst = region-id parameter: table imm, fixed index imm2
+  kParamRegionIdx, ///< dst = region-id parameter: table imm, index register a
+  kParamFIdx,      ///< dst = double parameter: table imm, index register a
+
+  // Shared memory, language level (pre-annotation).
+  kLoadShared,     ///< dst = region(a)[b]  (doubles; b is an element index)
+  kStoreShared,    ///< region(a)[b] = c
+
+  // Runtime annotations (inserted by the annotator, Figure 5).
+  kMap,            ///< dst = ACE_MAP(a)
+  kStartRead,      ///< ACE_START_READ(a); a is a mapped pointer
+  kEndRead,
+  kStartWrite,
+  kEndWrite,
+  kLoadPtr,        ///< dst = ptr(a)[b]
+  kStorePtr,       ///< ptr(a)[b] = c
+
+  // Spaces and protocols (tracked by the dataflow analysis).
+  kNewSpace,       ///< dst = Ace_NewSpace(proto imm-index)
+  kChangeProtocol, ///< Ace_ChangeProtocol(space reg a, proto imm-index)
+  kGMallocR,       ///< dst = Ace_GMalloc(space reg a, size imm)
+
+  // Control and misc.
+  kLoopBegin,      ///< for dst in [0, reg a): structured, body until kLoopEnd
+  kLoopEnd,
+  kBarrier,        ///< Ace_Barrier(space reg a)
+  kCharge,         ///< charge imm ns of application compute
+};
+
+struct Inst {
+  Op op;
+  std::int32_t dst = -1;
+  std::int32_t a = -1;
+  std::int32_t b = -1;
+  std::int32_t c = -1;
+  std::int64_t imm = 0;
+  std::int64_t imm2 = 0;
+  double fimm = 0;
+  /// Set by the direct-call pass: dispatch replaced by a direct call to the
+  /// (unique) protocol's routine.
+  bool direct = false;
+};
+
+/// A kernel: straight-line code with structured loops.  Region parameters
+/// come in tables; each table belongs to one space (the allocation-site
+/// information the paper's interprocedural dataflow analysis derives from
+/// Ace_GMalloc calls — our kernels receive it as part of their signature).
+struct Function {
+  std::string name;
+  std::vector<Inst> code;
+  std::int32_t n_regs = 0;
+  /// Space of each region-parameter table (index = table number).
+  std::vector<SpaceId> table_space;
+
+  std::int32_t reg() { return n_regs++; }
+  Inst& emit(Inst inst) {
+    code.push_back(inst);
+    return code.back();
+  }
+};
+
+/// Names of the protocols an IR program may reference by index (kNewSpace /
+/// kChangeProtocol imm); shared between builder, analysis, and interpreter.
+const std::vector<std::string>& proto_index();
+std::int64_t proto_index_of(const std::string& name);
+
+/// Structural validation: balanced loops, registers defined before use,
+/// operand kinds plausible.  Aborts (ACE_CHECK) on malformed IR.
+void validate(const Function& f);
+
+/// Human-readable listing (tests and debugging).
+std::string to_string(const Function& f);
+
+/// Count instructions of one opcode (test/bench helper).
+std::size_t count_ops(const Function& f, Op op);
+
+}  // namespace ace::ir

@@ -1,0 +1,48 @@
+// The five application kernels measured in Table 4.
+//
+// Each case bundles: the language-level IR of the application's hot loop
+// (running under the best protocols of §5.2, as Table 4 does); the setup
+// that creates its spaces/regions on every processor and hands the kernel
+// its parameter tables; the *hand-optimized* runtime-system version ("code
+// that an experienced programmer would write", §5.3 — maps and start/end
+// pairs hoisted beyond what the compiler's intraprocedural analysis can
+// prove); and a checksum so the bench can verify every optimization level
+// computes the same result.
+//
+// Kernel-vs-paper mapping of where the wins come from:
+//   * BSC    — map/start hoisting out of the block-product loops (LI);
+//   * Water  — merging the per-component loads/stores of a molecule (MC);
+//   * EM3D   — deleting StaticUpdate's null start_write/end_read in the
+//              tight edge loop (DC);
+//   * TSP    — hoisting the distance-matrix access out of the tour loops
+//              (LI/MC); the SC bound reads are not optimizable and survive;
+//   * Barnes-Hut — merging the 4-field tree-node reads (MC).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "acec/interp.hpp"
+#include "acec/ir.hpp"
+
+namespace ace::ir {
+
+struct KernelCase {
+  std::string name;
+  Function program;  ///< language-level IR (annotate before executing)
+  std::map<SpaceId, std::set<std::string>> space_protocols;
+  /// Collective: create spaces/regions, initialize data, switch protocols;
+  /// returns this processor's kernel arguments.
+  std::function<KernelArgs(RuntimeProc&)> setup;
+  /// The hand-written runtime-system version of the same computation.
+  std::function<void(RuntimeProc&, const KernelArgs&)> hand;
+  /// Local checksum over this processor's home regions (caller reduces).
+  std::function<double(RuntimeProc&, const KernelArgs&)> checksum;
+};
+
+/// All five Table-4 kernels.  `scale` multiplies the per-processor work.
+std::vector<KernelCase> table4_cases(std::uint32_t scale);
+
+}  // namespace ace::ir

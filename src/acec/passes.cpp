@@ -1,0 +1,357 @@
+#include "acec/passes.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ace::ir {
+
+namespace {
+
+/// Working form: instructions paired with their access facts, so structural
+/// edits do not invalidate the analysis (moving an access does not change
+/// its protocol set; the caller re-analyzes between passes anyway).
+struct WInst {
+  Inst inst;
+  AccessInfo info;
+};
+
+std::vector<WInst> to_work(const Function& f, const AnalysisResult& an) {
+  std::vector<WInst> w;
+  w.reserve(f.code.size());
+  for (std::size_t i = 0; i < f.code.size(); ++i)
+    w.push_back({f.code[i], an.per_inst[i]});
+  return w;
+}
+
+Function from_work(const Function& f, const std::vector<WInst>& w,
+                   const char* suffix) {
+  Function out;
+  out.name = f.name + suffix;
+  out.n_regs = f.n_regs;
+  out.table_space = f.table_space;
+  for (const auto& wi : w) out.code.push_back(wi.inst);
+  validate(out);
+  return out;
+}
+
+bool is_sync(const Inst& i) {
+  return i.op == Op::kBarrier || i.op == Op::kChangeProtocol;
+}
+
+bool writes_reg(const Inst& i, std::int32_t r) {
+  switch (i.op) {
+    case Op::kStoreShared:
+    case Op::kStartRead:
+    case Op::kEndRead:
+    case Op::kStartWrite:
+    case Op::kEndWrite:
+    case Op::kStorePtr:
+    case Op::kChangeProtocol:
+    case Op::kLoopEnd:
+    case Op::kBarrier:
+    case Op::kCharge:
+      return false;
+    default:
+      return i.dst == r;
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Loop invariance
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Loop {
+  std::size_t begin, end;  // indices of kLoopBegin / kLoopEnd
+  int depth;
+};
+
+std::vector<Loop> find_loops(const std::vector<WInst>& w) {
+  std::vector<Loop> loops;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w[i].inst.op == Op::kLoopBegin) stack.push_back(i);
+    if (w[i].inst.op == Op::kLoopEnd) {
+      loops.push_back({stack.back(), i, static_cast<int>(stack.size())});
+      stack.pop_back();
+    }
+  }
+  return loops;
+}
+
+/// One attempt to optimize one loop; returns true if anything moved.
+bool hoist_one_loop(std::vector<WInst>& w, std::size_t b, std::size_t e,
+                    PassReport* report) {
+  // "Code is never moved past synchronization calls" — and allocation inside
+  // the body would make region facts iteration-dependent.
+  for (std::size_t i = b + 1; i < e; ++i) {
+    const Op op = w[i].inst.op;
+    if (op == Op::kBarrier || op == Op::kChangeProtocol ||
+        op == Op::kGMallocR || op == Op::kNewSpace)
+      return false;
+  }
+
+  // Registers defined anywhere inside the body (loop induction included).
+  std::set<std::int32_t> defs;
+  defs.insert(w[b].inst.dst);
+  for (std::size_t i = b + 1; i < e; ++i)
+    if (w[i].inst.dst >= 0 && writes_reg(w[i].inst, w[i].inst.dst))
+      defs.insert(w[i].inst.dst);
+
+  // Depth of each body instruction relative to this loop (0 = top level).
+  std::vector<int> rel_depth(w.size(), 0);
+  {
+    int d = 0;
+    for (std::size_t i = b + 1; i < e; ++i) {
+      if (w[i].inst.op == Op::kLoopEnd) --d;
+      rel_depth[i] = d;
+      if (w[i].inst.op == Op::kLoopBegin) ++d;
+    }
+  }
+
+  bool changed = false;
+
+  // --- hoist invariant, optimizable ACE_MAPs above the loop -------------
+  std::vector<WInst> hoisted;
+  for (std::size_t i = b + 1; i < e;) {
+    const Inst& inst = w[i].inst;
+    if (rel_depth[i] == 0 && inst.op == Op::kMap && !defs.count(inst.a) &&
+        w[i].info.all_optimizable) {
+      defs.erase(inst.dst);  // its def is now outside the body
+      hoisted.push_back(w[i]);
+      w.erase(w.begin() + static_cast<std::ptrdiff_t>(i));
+      rel_depth.erase(rel_depth.begin() + static_cast<std::ptrdiff_t>(i));
+      e -= 1;
+      report->hoisted_maps += 1;
+      changed = true;
+      continue;
+    }
+    ++i;
+  }
+  if (!hoisted.empty()) {
+    w.insert(w.begin() + static_cast<std::ptrdiff_t>(b), hoisted.begin(),
+             hoisted.end());
+    rel_depth.insert(rel_depth.begin() + static_cast<std::ptrdiff_t>(b),
+                     hoisted.size(), 0);
+    b += hoisted.size();
+    e += hoisted.size();
+  }
+
+  // --- move START above / END below for invariant pointers ---------------
+  // Collect candidate pointer registers: used by top-level start/end inside
+  // the body, defined outside, uniformly read or write, all optimizable.
+  std::map<std::int32_t, std::vector<std::size_t>> uses;  // t -> indices
+  for (std::size_t i = b + 1; i < e; ++i) {
+    const Op op = w[i].inst.op;
+    if (op == Op::kStartRead || op == Op::kEndRead || op == Op::kStartWrite ||
+        op == Op::kEndWrite)
+      uses[w[i].inst.a].push_back(i);
+  }
+  for (auto& [t, idxs] : uses) {
+    if (defs.count(t)) continue;
+    bool ok = true;
+    bool read_mode = false, write_mode = false;
+    for (std::size_t i : idxs) {
+      if (rel_depth[i] != 0 || !w[i].info.all_optimizable) ok = false;
+      const Op op = w[i].inst.op;
+      if (op == Op::kStartRead || op == Op::kEndRead) read_mode = true;
+      if (op == Op::kStartWrite || op == Op::kEndWrite) write_mode = true;
+    }
+    if (!ok || (read_mode && write_mode) || idxs.empty()) continue;
+
+    // Remove all start/end on t from the body; insert one pair around it.
+    WInst start = w[idxs.front()];
+    WInst endw = w[idxs.back()];
+    start.inst.op = read_mode ? Op::kStartRead : Op::kStartWrite;
+    endw.inst.op = read_mode ? Op::kEndRead : Op::kEndWrite;
+    for (auto it = idxs.rbegin(); it != idxs.rend(); ++it) {
+      w.erase(w.begin() + static_cast<std::ptrdiff_t>(*it));
+      e -= 1;
+    }
+    w.insert(w.begin() + static_cast<std::ptrdiff_t>(b), start);
+    b += 1;
+    e += 1;
+    w.insert(w.begin() + static_cast<std::ptrdiff_t>(e + 1), endw);
+    report->hoisted_pairs += 1;
+    changed = true;
+    // Indices into rel_depth/uses are stale after edits: redo this loop on
+    // the next fixpoint iteration instead of continuing.
+    break;
+  }
+  return changed;
+}
+
+}  // namespace
+
+Function opt_loop_invariance(const Function& f, const AnalysisResult& an,
+                             PassReport* report) {
+  auto w = to_work(f, an);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Innermost loops first so maps bubble outward one level per round.
+    auto loops = find_loops(w);
+    std::sort(loops.begin(), loops.end(),
+              [](const Loop& x, const Loop& y) { return x.depth > y.depth; });
+    for (const auto& loop : loops) {
+      // Re-locate the loop (indices shift after edits): find_loops again.
+      auto fresh = find_loops(w);
+      const Loop* target = nullptr;
+      for (const auto& fl : fresh)
+        if (w[fl.begin].inst.dst == w[loop.begin].inst.dst &&
+            fl.depth == loop.depth)
+          target = &fl;
+      if (target == nullptr) continue;
+      if (hoist_one_loop(w, target->begin, target->end, report)) {
+        changed = true;
+        break;  // structure changed; restart with fresh loop list
+      }
+    }
+  }
+  return from_work(f, w, ".li");
+}
+
+// ---------------------------------------------------------------------------
+// Merging redundant protocol calls
+// ---------------------------------------------------------------------------
+
+Function opt_merge_calls(const Function& f, const AnalysisResult& an,
+                         PassReport* report) {
+  auto w = to_work(f, an);
+
+  // Block boundaries: loop edges and synchronization points.
+  auto is_boundary = [](const Inst& i) {
+    return i.op == Op::kLoopBegin || i.op == Op::kLoopEnd || is_sync(i);
+  };
+
+  // --- available ACE_MAP expressions -------------------------------------
+  {
+    std::map<std::int32_t, std::int32_t> avail;  // region reg -> ptr reg
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      Inst& inst = w[i].inst;
+      if (is_boundary(inst)) {
+        avail.clear();
+        continue;
+      }
+      if (inst.op == Op::kMap && w[i].info.all_optimizable) {
+        auto it = avail.find(inst.a);
+        if (it != avail.end() && it->second != inst.dst) {
+          // Reuse the earlier result (Figure 6's suif_tmp9 reuse).
+          inst = Inst{.op = Op::kCopy, .dst = inst.dst, .a = it->second};
+          report->merged_maps += 1;
+          continue;
+        }
+        avail[inst.a] = inst.dst;
+        continue;
+      }
+      // Kill facts about any register this instruction redefines.
+      if (inst.dst >= 0 && writes_reg(inst, inst.dst)) {
+        avail.erase(inst.dst);
+        for (auto it = avail.begin(); it != avail.end();)
+          it = it->second == inst.dst ? avail.erase(it) : std::next(it);
+      }
+    }
+  }
+
+  // Resolve kCopy chains so start/end merging sees one canonical pointer
+  // register per region.
+  {
+    std::map<std::int32_t, std::int32_t> alias;
+    for (auto& wi : w) {
+      Inst& inst = wi.inst;
+      if (inst.op == Op::kCopy && alias.count(inst.a))
+        inst.a = alias[inst.a];
+      if (inst.op == Op::kCopy)
+        alias[inst.dst] = inst.a;
+      else if (inst.a >= 0 && alias.count(inst.a) &&
+               (inst.op == Op::kStartRead || inst.op == Op::kEndRead ||
+                inst.op == Op::kStartWrite || inst.op == Op::kEndWrite ||
+                inst.op == Op::kLoadPtr || inst.op == Op::kStorePtr))
+        inst.a = alias[inst.a];
+      if (inst.dst >= 0 && inst.op != Op::kCopy) alias.erase(inst.dst);
+    }
+  }
+
+  // --- drop END/START pairs on the same pointer, same mode (Figure 6) -----
+  bool merged = true;
+  while (merged) {
+    merged = false;
+    for (std::size_t i = 0; i < w.size() && !merged; ++i) {
+      const Op op = w[i].inst.op;
+      if (op != Op::kEndRead && op != Op::kEndWrite) continue;
+      if (!w[i].info.all_optimizable) continue;
+      const std::int32_t t = w[i].inst.a;
+      const Op want = op == Op::kEndRead ? Op::kStartRead : Op::kStartWrite;
+      // §4.2 footnote 1: protocols may declare read/write merging legal, in
+      // which case END_READ followed by START_WRITE on the same region also
+      // merges (the episode escalates from read to write mode).  Only this
+      // direction: the closing END_WRITE must still run (update protocols
+      // mark dirtiness there).
+      const bool rw_ok = op == Op::kEndRead && w[i].info.all_merge_rw;
+      for (std::size_t j = i + 1; j < w.size(); ++j) {
+        const Inst& cand = w[j].inst;
+        if (is_boundary(cand)) break;
+        if (cand.dst == t && writes_reg(cand, cand.dst)) break;
+        const bool protocol_op_on_t =
+            (cand.op == Op::kStartRead || cand.op == Op::kEndRead ||
+             cand.op == Op::kStartWrite || cand.op == Op::kEndWrite) &&
+            cand.a == t;
+        if (!protocol_op_on_t) continue;
+        const bool same_mode = cand.op == want;
+        const bool escalate =
+            rw_ok && cand.op == Op::kStartWrite && w[j].info.all_merge_rw;
+        if ((same_mode || escalate) && w[j].info.all_optimizable) {
+          w.erase(w.begin() + static_cast<std::ptrdiff_t>(j));
+          w.erase(w.begin() + static_cast<std::ptrdiff_t>(i));
+          report->merged_pairs += 1;
+          merged = true;
+        }
+        break;  // nearest protocol op on t decides either way
+      }
+    }
+  }
+
+  return from_work(f, w, ".mc");
+}
+
+// ---------------------------------------------------------------------------
+// Avoiding dispatching overhead
+// ---------------------------------------------------------------------------
+
+Function opt_direct_calls(const Function& f, const AnalysisResult& an,
+                          const Registry& registry, PassReport* report) {
+  auto w = to_work(f, an);
+  auto hook_bit = [](Op op) -> unsigned {
+    switch (op) {
+      case Op::kStartRead: return kHookStartRead;
+      case Op::kEndRead: return kHookEndRead;
+      case Op::kStartWrite: return kHookStartWrite;
+      case Op::kEndWrite: return kHookEndWrite;
+      default: return 0;
+    }
+  };
+  for (std::size_t i = 0; i < w.size();) {
+    const unsigned bit = hook_bit(w[i].inst.op);
+    if (bit == 0 || !w[i].info.singleton()) {
+      ++i;
+      continue;
+    }
+    const ProtocolInfo& info = registry.info(*w[i].info.protocols.begin());
+    if ((info.hooks & bit) == 0) {
+      // The unique protocol's hook is null: remove the call entirely.
+      w.erase(w.begin() + static_cast<std::ptrdiff_t>(i));
+      report->removed_null += 1;
+      continue;
+    }
+    w[i].inst.direct = true;
+    report->direct_calls += 1;
+    ++i;
+  }
+  return from_work(f, w, ".dc");
+}
+
+}  // namespace ace::ir

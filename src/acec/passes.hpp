@@ -1,0 +1,43 @@
+// The three optimization passes of §4.2, in the order Table 4 applies them:
+//
+//   1. Loop invariance (LI): "ACE_MAP and ACE_START_* calls are moved above
+//      a loop, while ACE_END_* calls are moved below a loop", when the
+//      call's arguments are loop-invariant and every possible protocol of
+//      the access is optimizable.
+//   2. Merging redundant protocol calls (MC): available-expression analysis
+//      on ACE_MAP arguments within a basic block — a later map of the same
+//      region reuses the earlier result; for same-mode access pairs "we use
+//      the highest ACE_START_*, and the lowest ACE_END_*, and remove the
+//      rest" (Figure 6).
+//   3. Avoiding dispatching overhead (DC): when the protocol of an access is
+//      unique, the dispatch becomes a direct call; calls to hooks the
+//      protocol declares null are removed outright.
+//
+// In all passes, "code is never moved past synchronization calls": kBarrier
+// and kChangeProtocol bound every transformation.
+#pragma once
+
+#include "acec/analysis.hpp"
+#include "acec/ir.hpp"
+
+namespace ace::ir {
+
+struct PassReport {
+  std::size_t hoisted_maps = 0;
+  std::size_t hoisted_pairs = 0;   ///< start/end pairs moved around a loop
+  std::size_t merged_maps = 0;
+  std::size_t merged_pairs = 0;    ///< end+start pairs deleted (Figure 6)
+  std::size_t direct_calls = 0;
+  std::size_t removed_null = 0;
+};
+
+/// Each pass takes the function plus a *fresh* analysis of it (the caller
+/// re-analyzes between passes) and returns the transformed function.
+Function opt_loop_invariance(const Function& f, const AnalysisResult& an,
+                             PassReport* report);
+Function opt_merge_calls(const Function& f, const AnalysisResult& an,
+                         PassReport* report);
+Function opt_direct_calls(const Function& f, const AnalysisResult& an,
+                          const Registry& registry, PassReport* report);
+
+}  // namespace ace::ir

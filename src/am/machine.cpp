@@ -1,0 +1,191 @@
+#include "am/machine.hpp"
+#include <atomic>
+#include <thread>
+
+#include <chrono>
+
+namespace ace::am {
+
+namespace {
+thread_local Proc* tls_proc = nullptr;
+}  // namespace
+
+std::uint32_t Proc::nprocs() const { return machine_->nprocs(); }
+
+void Proc::send(ProcId dst, HandlerId handler, std::array<std::uint64_t, 6> args,
+                std::vector<std::byte> payload) {
+  ACE_CHECK_MSG(dst < machine_->nprocs(), "send to an invalid processor");
+  const auto bytes = static_cast<std::uint64_t>(payload.size());
+  if (!machine_->is_barrier_handler(handler))
+    charge(machine_->cost().message_cost_sender(bytes));
+  stats_.msgs_sent += 1;
+  stats_.bytes_sent += bytes;
+
+  Message m;
+  m.handler = handler;
+  m.src = id_;
+  m.args = args;
+  m.payload = std::move(payload);
+  m.send_vtime_ns = vclock_ns_;
+  machine_->proc(dst).enqueue(std::move(m));
+}
+
+void Proc::enqueue(Message&& m) {
+  {
+    std::lock_guard lk(mail_mu_);
+    mailbox_.push_back(std::move(m));
+  }
+  mail_cv_.notify_one();
+}
+
+std::size_t Proc::poll() {
+  stats_.polls += 1;
+  // Swap out the mailbox so handlers can send to *this* processor (e.g. a
+  // home node forwarding to itself) without self-deadlock or iterator
+  // invalidation.
+  std::deque<Message> batch;
+  {
+    std::lock_guard lk(mail_mu_);
+    batch.swap(mailbox_);
+  }
+  const auto& cost = machine_->cost();
+  for (auto& m : batch) {
+    // Modeled time: the receiver pays its dispatch/service cost per message.
+    // We deliberately do NOT join the receiver's clock with the sender's
+    // (max(now, send_time + latency)): with many simulated processors
+    // multiplexed onto few host cores, real scheduling skew would leak into
+    // virtual time and swamp the protocol effects being measured.  Instead,
+    // requester-side stalls are charged analytically (Proc::charge_rtt at
+    // every blocking wait) and clocks are joined at barriers, which is where
+    // SPMD programs actually synchronize.  Barrier traffic rides the CM-5's
+    // control network and charges nothing.
+    if (!machine_->is_barrier_handler(m.handler))
+      vclock_ns_ += cost.handler_dispatch_ns;
+    stats_.msgs_received += 1;
+    ACE_DCHECK(m.handler < machine_->handlers_.size());
+    machine_->handlers_[m.handler](*this, m);
+  }
+  return batch.size();
+}
+
+void Proc::charge_rtt() {
+  const auto& cost = machine_->cost();
+  // Two wire crossings plus the remote side's dispatch of our request; the
+  // reply's dispatch is charged when poll() runs the reply handler.
+  charge(2 * cost.wire_latency_ns + cost.handler_dispatch_ns);
+}
+
+void Proc::wait_for_mail() {
+  std::unique_lock lk(mail_mu_);
+  if (!mailbox_.empty()) return;
+  if (!mail_cv_.wait_for(lk, machine_->watchdog,
+                         [&] { return !mailbox_.empty(); })) {
+    check_failed("wait_for_mail watchdog", __FILE__, __LINE__,
+                 "processor blocked with an empty mailbox — protocol deadlock");
+  }
+}
+
+void Proc::barrier() {
+  stats_.barriers += 1;
+  const std::uint32_t epoch = barrier_epoch_;
+  if (id_ == 0) {
+    // Count self, wait for the other P-1 arrivals, then release everyone.
+    arrivals_ += 1;
+    barrier_max_vtime_ = std::max(barrier_max_vtime_, vclock_ns_);
+    wait_until([&] { return arrivals_ == machine_->nprocs(); });
+    const std::uint64_t release =
+        barrier_max_vtime_ + machine_->cost().barrier_ns;
+    arrivals_ = 0;
+    barrier_max_vtime_ = 0;
+    vclock_ns_ = std::max(vclock_ns_, release);
+    release_epoch_ = epoch + 1;
+    for (ProcId p = 1; p < machine_->nprocs(); ++p)
+      send(p, machine_->barrier_release_, {release});
+  } else {
+    send(0, machine_->barrier_arrive_, {vclock_ns_});
+    wait_until([&] { return release_epoch_ > epoch; });
+    vclock_ns_ = std::max(vclock_ns_, barrier_release_vtime_);
+  }
+  barrier_epoch_ = epoch + 1;
+}
+
+Machine::Machine(std::uint32_t nprocs, CostModel cost) : cost_(cost) {
+  ACE_CHECK(nprocs >= 1);
+  procs_.reserve(nprocs);
+  for (std::uint32_t p = 0; p < nprocs; ++p) {
+    auto proc = std::make_unique<Proc>();
+    proc->machine_ = this;
+    proc->id_ = p;
+    procs_.push_back(std::move(proc));
+  }
+  barrier_arrive_ = register_handler([](Proc& self, Message& m) {
+    ACE_DCHECK(self.id() == 0);
+    self.arrivals_ += 1;
+    self.barrier_max_vtime_ = std::max(self.barrier_max_vtime_, m.args[0]);
+  });
+  barrier_release_ = register_handler([](Proc& self, Message& m) {
+    self.barrier_release_vtime_ = m.args[0];
+    self.release_epoch_ += 1;
+  });
+}
+
+HandlerId Machine::register_handler(Handler fn) {
+  ACE_CHECK_MSG(!running_, "handlers must be registered before Machine::run");
+  handlers_.push_back(std::move(fn));
+  return static_cast<HandlerId>(handlers_.size() - 1);
+}
+
+void Machine::run(const ProcFn& fn) {
+  running_ = true;
+  // Finalize phase (MPI_Finalize-style): a processor that finishes its
+  // program keeps servicing incoming requests until *every* processor has
+  // finished — otherwise a straggler blocked on a request to an
+  // already-finished home would deadlock.  The closing barriers drain
+  // residual traffic (flush lemma) so the next run starts with empty
+  // mailboxes.
+  std::atomic<std::uint32_t> done{0};
+  const auto nprocs = static_cast<std::uint32_t>(procs_.size());
+  std::vector<std::thread> threads;
+  threads.reserve(procs_.size());
+  for (auto& proc : procs_) {
+    threads.emplace_back([&fn, &done, nprocs, p = proc.get()] {
+      tls_proc = p;
+      fn(*p);
+      done.fetch_add(1, std::memory_order_acq_rel);
+      while (done.load(std::memory_order_acquire) < nprocs)
+        if (p->poll() == 0) std::this_thread::sleep_for(std::chrono::microseconds(100));
+      p->barrier();
+      p->barrier();
+      tls_proc = nullptr;
+    });
+  }
+  for (auto& t : threads) t.join();
+  running_ = false;
+}
+
+Proc& Machine::self() {
+  ACE_CHECK_MSG(tls_proc != nullptr,
+                "Machine::self() called outside a processor thread");
+  return *tls_proc;
+}
+
+Stats Machine::aggregate_stats() const {
+  Stats s;
+  for (const auto& p : procs_) s.merge(p->stats_);
+  return s;
+}
+
+std::uint64_t Machine::max_vclock_ns() const {
+  std::uint64_t t = 0;
+  for (const auto& p : procs_) t = std::max(t, p->vclock_ns_);
+  return t;
+}
+
+void Machine::reset_stats() {
+  for (auto& p : procs_) {
+    p->stats_ = Stats{};
+    p->vclock_ns_ = 0;
+  }
+}
+
+}  // namespace ace::am

@@ -1,0 +1,164 @@
+// The simulated distributed-memory machine.
+//
+// `Machine` models the paper's hardware substrate (a 32-node CM-5): P
+// "processors", each an OS thread with a private heap, communicating *only*
+// through Active-Message mailboxes.  The delivery discipline is CRL's polling
+// model, which the paper's runtime inherits:
+//
+//   * a handler runs only on its destination processor's own thread, when
+//     that processor polls (at protocol entry points and inside blocking
+//     waits);
+//   * handlers never block — multi-step protocol transitions are
+//     continuation-based at the home node;
+//   * a processor that blocks waiting for a reply keeps polling, so it
+//     continues to service requests directed at it (no deadlock through
+//     mutual requests).
+//
+// Each processor carries a virtual clock advanced by CostModel charges; see
+// stats.hpp for why experiments report modeled time.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "am/message.hpp"
+#include "am/stats.hpp"
+#include "common/align.hpp"
+#include "common/check.hpp"
+
+namespace ace::am {
+
+class Machine;
+
+/// Context-slot indices for layers that attach per-processor state to a Proc.
+enum CtxSlot : unsigned { kCtxAce = 0, kCtxCrl = 1, kCtxApp = 2, kCtxSlots = 4 };
+
+class Proc {
+ public:
+  Proc() = default;
+  Proc(const Proc&) = delete;
+  Proc& operator=(const Proc&) = delete;
+
+  ProcId id() const { return id_; }
+  Machine& machine() const { return *machine_; }
+  std::uint32_t nprocs() const;
+
+  /// Send an active message to `dst`; charges sender-side costs.
+  void send(ProcId dst, HandlerId handler,
+            std::array<std::uint64_t, 6> args = {},
+            std::vector<std::byte> payload = {});
+
+  /// Drain the mailbox, running handlers inline on this thread.
+  /// Returns the number of messages handled.
+  std::size_t poll();
+
+  /// Poll until `pred()` holds.  `pred` is satisfied only by handlers that
+  /// run on this same thread during poll(), so no memory-order subtleties
+  /// arise.  Aborts after a configurable watchdog interval (a blocked DSM
+  /// operation that long is a protocol bug, not a slow network).
+  template <class Pred>
+  void wait_until(Pred&& pred) {
+    while (!pred()) {
+      if (poll() != 0) continue;
+      wait_for_mail();
+    }
+  }
+
+  /// Advance the virtual clock (software path or compute cost).
+  void charge(std::uint64_t ns) { vclock_ns_ += ns; }
+
+  /// Charge the network round trip a blocking request stalls for (the
+  /// requester's side of a miss).  See stats.hpp for the modeled-time rules.
+  void charge_rtt();
+  std::uint64_t vclock_ns() const { return vclock_ns_; }
+  void set_vclock_ns(std::uint64_t t) { vclock_ns_ = t; }
+
+  Stats& stats() { return stats_; }
+  const Stats& stats() const { return stats_; }
+
+  /// Per-layer attachment points (the Ace runtime, the CRL runtime, apps).
+  void* ctx(CtxSlot slot) const { return ctx_[slot]; }
+  void set_ctx(CtxSlot slot, void* p) { ctx_[slot] = p; }
+
+  /// Machine-wide barrier (control-network style; used by DSM layers as the
+  /// raw synchronization mechanism under protocol barrier hooks).
+  void barrier();
+
+ private:
+  friend class Machine;
+
+  void enqueue(Message&& m);
+  /// Blocks until the mailbox is (probably) non-empty; watchdog inside.
+  void wait_for_mail();
+
+  Machine* machine_ = nullptr;
+  ProcId id_ = 0;
+  std::uint64_t vclock_ns_ = 0;
+  Stats stats_;
+  void* ctx_[kCtxSlots] = {};
+
+  // Barrier bookkeeping (centralized at proc 0; see machine.cpp).
+  std::uint32_t barrier_epoch_ = 0;       // epochs this proc has completed
+  std::uint32_t release_epoch_ = 0;       // epochs proc 0 has released
+  std::uint32_t arrivals_ = 0;            // proc 0 only: arrivals this epoch
+  std::uint64_t barrier_max_vtime_ = 0;   // proc 0 only: max arrival vclock
+  std::uint64_t barrier_release_vtime_ = 0;
+
+  std::mutex mail_mu_;
+  std::condition_variable mail_cv_;
+  std::deque<Message> mailbox_;
+};
+
+class Machine {
+ public:
+  using Handler = std::function<void(Proc&, Message&)>;
+  using ProcFn = std::function<void(Proc&)>;
+
+  explicit Machine(std::uint32_t nprocs, CostModel cost = {});
+
+  std::uint32_t nprocs() const { return static_cast<std::uint32_t>(procs_.size()); }
+  Proc& proc(ProcId p) { return *procs_[p]; }
+  const CostModel& cost() const { return cost_; }
+
+  /// Register a handler; must happen before run().  Returns a stable id
+  /// valid on every processor (SPMD: same handler table machine-wide).
+  HandlerId register_handler(Handler fn);
+
+  /// Run `fn` on every processor (SPMD).  May be called repeatedly; per-proc
+  /// state (ctx slots, clocks, stats) persists across runs.
+  void run(const ProcFn& fn);
+
+  /// The processor bound to the calling thread (only valid inside run()).
+  static Proc& self();
+
+  Stats aggregate_stats() const;
+  std::uint64_t max_vclock_ns() const;
+  void reset_stats();
+
+  /// Barrier traffic models the CM-5's dedicated control network: it is
+  /// counted in message statistics but charges no data-network time.
+  bool is_barrier_handler(HandlerId h) const {
+    return h == barrier_arrive_ || h == barrier_release_;
+  }
+
+  /// Watchdog for wait_until; generous because benches serialize many
+  /// processors onto few host cores.
+  std::chrono::seconds watchdog{120};
+
+ private:
+  friend class Proc;
+
+  CostModel cost_;
+  std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<Handler> handlers_;
+  HandlerId barrier_arrive_ = 0;
+  HandlerId barrier_release_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace ace::am

@@ -1,0 +1,31 @@
+// Active-Message representation.
+//
+// Mirrors the CM-5 CMAML model the paper's runtime targets (§1: "Ace is
+// portable to any system that supports an Active Messages mechanism"): a
+// message names a handler to run at the destination, carries a handful of
+// word-sized arguments, and optionally a bulk payload (the CM-5's scopy path).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ace::am {
+
+using HandlerId = std::uint32_t;
+using ProcId = std::uint32_t;
+
+struct Message {
+  HandlerId handler = 0;
+  ProcId src = 0;
+  /// Word arguments, by convention: args[0..] are protocol-defined.
+  std::array<std::uint64_t, 6> args{};
+  /// Bulk payload (region data).  Empty for control messages.
+  std::vector<std::byte> payload;
+  /// Virtual time at which the message left the sender (ns); used by the
+  /// cost model to order delivery against the receiver's clock.
+  std::uint64_t send_vtime_ns = 0;
+};
+
+}  // namespace ace::am

@@ -1,0 +1,67 @@
+// Per-processor statistics and the CM-5-like cost model.
+//
+// The paper reports CM-5 seconds.  We cannot (and are not expected to)
+// reproduce absolute numbers on different hardware, so every experiment
+// reports three views: (1) wall-clock time, (2) raw transport counters
+// (messages, bytes, protocol operations), and (3) *modeled time*: a virtual
+// per-processor clock advanced by the constants below.  The modeled time is
+// what the fig/table harnesses print as their primary series, because it is
+// host-independent and directly reflects the quantities the paper's protocols
+// optimize (message rounds, bytes moved, software path length).
+//
+// Constants are loosely calibrated to the CM-5 numbers in the CRL and Active
+// Messages papers: ~33MHz SPARC nodes, a few microseconds of software
+// overhead per active message, ~8-10 MB/s bulk transfer.  EXPERIMENTS.md
+// documents them alongside the results.
+#pragma once
+
+#include <cstdint>
+
+namespace ace::am {
+
+struct CostModel {
+  // Transport.  Calibrated so that a blocking region miss costs ~40-50us,
+  // matching CRL's measured CM-5 miss latencies (tens of microseconds to
+  // ~100us including protocol processing); it is this miss:hit cost ratio
+  // that gives customized protocols their leverage in the paper.
+  std::uint64_t send_overhead_ns = 3000;   ///< sender-side software cost per AM
+  std::uint64_t wire_latency_ns = 15000;   ///< one-way latency incl. protocol
+  std::uint64_t handler_dispatch_ns = 5000;///< receiver-side dispatch+service
+  std::uint64_t per_byte_ns = 120;         ///< bulk payload cost (~8.3 MB/s)
+  std::uint64_t barrier_ns = 5000;         ///< CM-5 control-network barrier
+
+  // Software path lengths charged by the DSM layers (per call).
+  std::uint64_t map_fast_ns = 400;     ///< Ace's optimized mapping technique
+  std::uint64_t map_slow_ns = 1600;    ///< CRL's two-level URC mapping path
+  std::uint64_t dispatch_ns = 350;     ///< space->protocol indirect dispatch
+  std::uint64_t direct_call_ns = 120;  ///< compiler-devirtualized protocol call
+  std::uint64_t op_hit_ns = 400;       ///< start/end op local fast path (Ace)
+  std::uint64_t crl_op_ns = 900;       ///< CRL's start/end fast path (§5.1:
+                                       ///< Ace's SC protocol was "carefully
+                                       ///< redesigned"; CRL pays no dispatch
+                                       ///< but a longer per-op state walk)
+
+  std::uint64_t message_cost_sender(std::uint64_t payload_bytes) const {
+    return send_overhead_ns + per_byte_ns * payload_bytes;
+  }
+};
+
+/// Transport-level counters.  One instance per processor, cache-line padded
+/// by the owner; aggregated across processors after a run.
+struct Stats {
+  std::uint64_t msgs_sent = 0;
+  std::uint64_t msgs_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t polls = 0;
+  std::uint64_t barriers = 0;
+
+  void merge(const Stats& o) {
+    msgs_sent += o.msgs_sent;
+    msgs_received += o.msgs_received;
+    bytes_sent += o.bytes_sent;
+    polls += o.polls;
+    barriers += o.barriers;
+  }
+};
+
+}  // namespace ace::am

@@ -1,0 +1,176 @@
+#include "apps/barnes_hut.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace apps {
+
+std::vector<BhBody> bh_init(const BhParams& p) {
+  ace::Rng rng(p.seed);
+  std::vector<BhBody> bodies(p.n_bodies);
+  for (auto& b : bodies) {
+    // Plummer-ish: clustered around the origin inside the unit-ish cube.
+    for (int k = 0; k < 3; ++k) {
+      b.pos[k] = rng.next_double(-1.0, 1.0) * rng.next_double();
+      b.vel[k] = rng.next_double(-0.1, 0.1);
+    }
+    b.mass = rng.next_double(0.5, 1.5);
+  }
+  return bodies;
+}
+
+std::int32_t BhTree::new_node(const double center[3], double half) {
+  BhNode node;
+  for (int k = 0; k < 3; ++k) {
+    node.center[k] = center[k];
+    node.com[k] = 0;
+  }
+  node.half = half;
+  for (auto& c : node.child) c = -1;
+  nodes_.push_back(node);
+  return static_cast<std::int32_t>(nodes_.size() - 1);
+}
+
+void BhTree::insert(const std::vector<BhBody>& bodies, std::int32_t ni,
+                    std::uint32_t bi) {
+  // Iterative descent; splits leaves as needed.
+  while (true) {
+    BhNode& node = nodes_[ni];
+    if (node.count == 0) {  // empty leaf: take the body
+      node.body = static_cast<std::int32_t>(bi);
+      node.count = 1;
+      return;
+    }
+    // Internal (or leaf to split): push resident body down first.
+    if (node.count == 1 && node.body >= 0) {
+      const std::uint32_t resident = static_cast<std::uint32_t>(node.body);
+      node.body = -1;
+      // Degenerate case: coincident positions would recurse forever; keep
+      // the resident in an arbitrary octant chain bounded by half-width.
+      if (node.half < 1e-12) {
+        node.body = static_cast<std::int32_t>(resident);
+        node.count += 1;
+        return;  // bucket the coincident body (count>1, body = one of them)
+      }
+      const double* rp = bodies[resident].pos;
+      int oct = 0;
+      for (int k = 0; k < 3; ++k)
+        if (rp[k] >= node.center[k]) oct |= 1 << k;
+      double cc[3];
+      for (int k = 0; k < 3; ++k)
+        cc[k] = node.center[k] + ((oct >> k & 1) ? 0.5 : -0.5) * node.half;
+      const std::int32_t ch = new_node(cc, node.half * 0.5);
+      nodes_[ni].child[oct] = ch;  // nodes_ may have reallocated; re-index
+      nodes_[ch].body = static_cast<std::int32_t>(resident);
+      nodes_[ch].count = 1;
+    }
+    BhNode& nd = nodes_[ni];
+    nd.count += 1;
+    const double* bp = bodies[bi].pos;
+    int oct = 0;
+    for (int k = 0; k < 3; ++k)
+      if (bp[k] >= nd.center[k]) oct |= 1 << k;
+    if (nd.child[oct] < 0) {
+      double cc[3];
+      for (int k = 0; k < 3; ++k)
+        cc[k] = nd.center[k] + ((oct >> k & 1) ? 0.5 : -0.5) * nd.half;
+      const std::int32_t ch = new_node(cc, nd.half * 0.5);
+      nodes_[ni].child[oct] = ch;
+      ni = ch;
+    } else {
+      ni = nd.child[oct];
+    }
+  }
+}
+
+void BhTree::build(const std::vector<BhBody>& bodies) {
+  nodes_.clear();
+  // Root cell: bounding cube of all bodies.
+  double lo[3] = {1e30, 1e30, 1e30}, hi[3] = {-1e30, -1e30, -1e30};
+  for (const auto& b : bodies)
+    for (int k = 0; k < 3; ++k) {
+      lo[k] = std::min(lo[k], b.pos[k]);
+      hi[k] = std::max(hi[k], b.pos[k]);
+    }
+  double center[3], half = 0;
+  for (int k = 0; k < 3; ++k) {
+    center[k] = 0.5 * (lo[k] + hi[k]);
+    half = std::max(half, 0.5 * (hi[k] - lo[k]) + 1e-9);
+  }
+  new_node(center, half);
+  for (std::uint32_t i = 0; i < bodies.size(); ++i) insert(bodies, 0, i);
+
+  // Bottom-up centers of mass (children have higher indices than parents is
+  // NOT guaranteed by the iterative split, so integrate in reverse creation
+  // order, which does dominate: children are always created after parents).
+  for (auto it = nodes_.rbegin(); it != nodes_.rend(); ++it) {
+    BhNode& node = *it;
+    if (node.body >= 0) {  // leaf (possibly a coincident-body bucket)
+      const BhBody& b = bodies[static_cast<std::uint32_t>(node.body)];
+      node.mass = b.mass * node.count;
+      for (int k = 0; k < 3; ++k) node.com[k] = b.pos[k];
+      continue;
+    }
+    node.mass = 0;
+    for (int k = 0; k < 3; ++k) node.com[k] = 0;
+    for (const std::int32_t c : node.child) {
+      if (c < 0) continue;
+      const BhNode& ch = nodes_[c];
+      node.mass += ch.mass;
+      for (int k = 0; k < 3; ++k) node.com[k] += ch.mass * ch.com[k];
+    }
+    if (node.mass > 0)
+      for (int k = 0; k < 3; ++k) node.com[k] /= node.mass;
+  }
+}
+
+void BhTree::force(const std::vector<BhBody>& bodies, std::uint32_t i,
+                   double theta, double eps, double out[3],
+                   std::uint64_t* visits) const {
+  const double* p = bodies[i].pos;
+  out[0] = out[1] = out[2] = 0;
+  // Explicit stack; traversal order (child 0..7) fixed for determinism.
+  std::vector<std::int32_t> stack{0};
+  while (!stack.empty()) {
+    const std::int32_t ni = stack.back();
+    stack.pop_back();
+    const BhNode& node = nodes_[ni];
+    if (visits != nullptr) *visits += 1;
+    if (node.count == 0 || node.mass <= 0) continue;
+    if (node.body == static_cast<std::int32_t>(i) && node.count == 1)
+      continue;  // self
+    double d[3];
+    for (int k = 0; k < 3; ++k) d[k] = node.com[k] - p[k];
+    const double r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+    const double size = 2.0 * node.half;
+    const bool is_leaf = node.body >= 0;
+    if (is_leaf || size * size < theta * theta * r2) {
+      const double r2s = r2 + eps * eps;
+      const double inv = node.mass / (r2s * std::sqrt(r2s));
+      for (int k = 0; k < 3; ++k) out[k] += d[k] * inv;
+    } else {
+      for (int c = 7; c >= 0; --c)  // pushed reversed -> popped 0..7
+        if (node.child[c] >= 0) stack.push_back(node.child[c]);
+    }
+  }
+}
+
+std::vector<BhBody> bh_reference(const BhParams& p) {
+  std::vector<BhBody> bodies = bh_init(p);
+  BhTree tree;
+  for (std::uint32_t step = 0; step < p.steps; ++step) {
+    tree.build(bodies);
+    std::vector<std::array<double, 3>> forces(p.n_bodies);
+    for (std::uint32_t i = 0; i < p.n_bodies; ++i)
+      tree.force(bodies, i, p.theta, p.eps, forces[i].data(), nullptr);
+    for (std::uint32_t i = 0; i < p.n_bodies; ++i) {
+      for (int k = 0; k < 3; ++k) {
+        bodies[i].vel[k] += forces[i][k] * p.dt / bodies[i].mass;
+        bodies[i].pos[k] += bodies[i].vel[k] * p.dt;
+      }
+    }
+  }
+  return bodies;
+}
+
+}  // namespace apps

@@ -1,0 +1,262 @@
+// Barnes-Hut (§5.2, from SPLASH): hierarchical O(N log N) N-body force
+// calculation over an octree.
+//
+// Parallel structure (documented simplification of the SPLASH version, see
+// DESIGN.md): processor 0 rebuilds the octree each step from the shared body
+// regions and publishes it as an array of serialized tree nodes; every
+// processor then walks the published tree to compute forces on its own
+// bodies and updates them.  The tree build is the read-everything hot spot,
+// the body update the write-mine hot spot — which is why the paper runs
+// bodies under a *dynamic update* protocol: after processor 0 has read a
+// body once, every owner write is pushed to it immediately, so the per-step
+// tree build stops missing (no request/reply round trips, no
+// invalidations).  The tree itself is written only by processor 0 and read
+// by everyone: HomeWrite (bulk refetch per step) in the custom mode.
+//
+// Compute charge: kTreeInsertNs per insertion (proc 0), kWalkNodeNs per tree
+// node visited during force walks, kBodyUpdateNs per body update.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/api.hpp"
+#include "apps/ids.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace apps {
+
+struct BhParams {
+  std::uint32_t n_bodies = 4096;  ///< paper: 16384 (default scaled for time)
+  std::uint32_t steps = 4;        ///< paper: 4 time steps
+  double theta = 1.0;             ///< opening tolerance (paper: 1.0)
+  double dt = 0.05;
+  double eps = 0.5;               ///< softening (paper: 0.5)
+  std::uint64_t seed = 2024;
+  bool custom_protocols = false;  ///< DynamicUpdate bodies + HomeWrite tree
+  /// CRL-1.0 annotation style (map/unmap around each access); see em3d.hpp.
+  bool map_per_access = false;
+};
+
+struct BhBody {
+  double pos[3];
+  double vel[3];
+  double mass;
+};
+
+/// Serialized octree node (fixed-size, shared-region friendly).
+struct BhNode {
+  double center[3];
+  double half = 0;     // half-width of the cell
+  double com[3];       // center of mass
+  double mass = 0;
+  std::int32_t child[8];  // node index or -1
+  std::int32_t body = -1; // body index for leaves, -1 for internal
+  std::int32_t count = 0; // bodies in subtree
+};
+
+std::vector<BhBody> bh_init(const BhParams& p);
+std::vector<BhBody> bh_reference(const BhParams& p);
+
+/// Octree build + force walk shared by the parallel code and the reference.
+class BhTree {
+ public:
+  /// Build from positions; deterministic for a fixed body order.
+  void build(const std::vector<BhBody>& bodies);
+  /// Force on body i with opening criterion theta; visits is incremented per
+  /// node visited (for compute charging).
+  void force(const std::vector<BhBody>& bodies, std::uint32_t i, double theta,
+             double eps, double out[3], std::uint64_t* visits) const;
+
+  const std::vector<BhNode>& nodes() const { return nodes_; }
+  void set_nodes(std::vector<BhNode> n) { nodes_ = std::move(n); }
+
+ private:
+  std::int32_t new_node(const double center[3], double half);
+  void insert(const std::vector<BhBody>& bodies, std::int32_t node,
+              std::uint32_t body);
+  std::vector<BhNode> nodes_;
+};
+
+struct BhResult {
+  double checksum = 0;
+  std::vector<BhBody> final_state;  ///< on proc 0 only
+};
+
+inline constexpr std::uint64_t kTreeInsertNs = 400;
+inline constexpr std::uint64_t kWalkNodeNs = 150;
+inline constexpr std::uint64_t kBodyUpdateNs = 300;
+inline constexpr std::uint32_t kNodesPerRegion = 64;
+
+template <class Api>
+BhResult bh_run(Api& api, const BhParams& p) {
+  const std::uint32_t P = api.nprocs();
+  const ProcId me = api.me();
+  const std::uint32_t n = p.n_bodies;
+  const std::vector<BhBody> init = bh_init(p);
+
+  const std::uint32_t body_space = api.new_space(ace::proto_names::kSC);
+  const std::uint32_t tree_space = api.new_space(ace::proto_names::kSC);
+
+  // Tree capacity: worst-case nodes for uniform-ish bodies, plus a header
+  // region carrying the actual node count per step.
+  const std::uint32_t max_nodes = 4 * n + 64;
+  const std::uint32_t n_tree_regions =
+      (max_nodes + kNodesPerRegion - 1) / kNodesPerRegion;
+
+  std::vector<RegionId> body_ids(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (rr_owner(i, P) == me) body_ids[i] = api.gmalloc(body_space, sizeof(BhBody));
+  share_ids(api, body_ids, [&](std::size_t i) { return rr_owner(i, P); });
+
+  std::vector<RegionId> tree_ids(n_tree_regions);
+  RegionId header_id = 0;
+  if (me == 0) {
+    for (auto& id : tree_ids)
+      id = api.gmalloc(tree_space, kNodesPerRegion * sizeof(BhNode));
+    header_id = api.gmalloc(tree_space, sizeof(std::uint32_t));
+  }
+  share_ids(api, tree_ids, [&](std::size_t) { return ProcId{0}; });
+  header_id = api.bcast_region(header_id, 0);
+
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (rr_owner(i, P) == me) {
+      auto* b = static_cast<BhBody*>(api.map(body_ids[i]));
+      api.start_write(b);
+      *b = init[i];
+      api.end_write(b);
+    }
+  api.barrier(body_space);
+
+  if (p.custom_protocols) {
+    api.change_protocol(body_space, ace::proto_names::kDynamicUpdate);
+    api.change_protocol(tree_space, ace::proto_names::kHomeWrite);
+  }
+
+  std::vector<BhBody*> body(n, nullptr);
+  std::vector<BhNode*> tree(n_tree_regions, nullptr);
+  if (!p.map_per_access) {
+    for (std::uint32_t i = 0; i < n; ++i)
+      body[i] = static_cast<BhBody*>(api.map(body_ids[i]));
+    for (std::uint32_t r = 0; r < n_tree_regions; ++r)
+      tree[r] = static_cast<BhNode*>(api.map(tree_ids[r]));
+  }
+  auto* header = static_cast<std::uint32_t*>(api.map(header_id));
+
+  // Acquire/release pair implementing the two annotation styles.
+  auto acquire_body = [&](std::uint32_t i) -> BhBody* {
+    return p.map_per_access ? static_cast<BhBody*>(api.map(body_ids[i]))
+                            : body[i];
+  };
+  auto acquire_tree = [&](std::uint32_t r) -> BhNode* {
+    return p.map_per_access ? static_cast<BhNode*>(api.map(tree_ids[r]))
+                            : tree[r];
+  };
+  auto release = [&](void* ptr) {
+    if (p.map_per_access) api.unmap(ptr);
+  };
+
+  BhTree walker;
+  std::vector<BhBody> snapshot(n);
+  BhResult res;
+
+  for (std::uint32_t step = 0; step < p.steps; ++step) {
+    // --- proc 0: read all bodies, build, publish -------------------------
+    if (me == 0) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        BhBody* b = acquire_body(i);
+        api.start_read(b);
+        snapshot[i] = *b;
+        api.end_read(b);
+        release(b);
+      }
+      walker.build(snapshot);
+      api.charge_compute(kTreeInsertNs * n);
+      const auto& nodes = walker.nodes();
+      ACE_CHECK_MSG(nodes.size() <= max_nodes, "octree overflow");
+      for (std::uint32_t r = 0; r * kNodesPerRegion < nodes.size(); ++r) {
+        const std::uint32_t lo = r * kNodesPerRegion;
+        const std::uint32_t hi = std::min<std::uint32_t>(
+            lo + kNodesPerRegion, static_cast<std::uint32_t>(nodes.size()));
+        BhNode* t = acquire_tree(r);
+        api.start_write(t);
+        std::copy(nodes.begin() + lo, nodes.begin() + hi, t);
+        api.end_write(t);
+        release(t);
+      }
+      api.start_write(header);
+      *header = static_cast<std::uint32_t>(nodes.size());
+      api.end_write(header);
+    }
+    api.barrier(tree_space);
+
+    // --- everyone: pull the tree, compute forces on own bodies -----------
+    api.start_read(header);
+    const std::uint32_t n_nodes = *header;
+    api.end_read(header);
+    std::vector<BhNode> local_nodes(n_nodes);
+    for (std::uint32_t r = 0; r * kNodesPerRegion < n_nodes; ++r) {
+      const std::uint32_t lo = r * kNodesPerRegion;
+      const std::uint32_t hi = std::min(lo + kNodesPerRegion, n_nodes);
+      BhNode* t = acquire_tree(r);
+      api.start_read(t);
+      std::copy(t, t + (hi - lo), local_nodes.begin() + lo);
+      api.end_read(t);
+      release(t);
+    }
+    walker.set_nodes(std::move(local_nodes));
+
+    // Snapshot own bodies (leaf positions come from the tree's coms).
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (rr_owner(i, P) != me) continue;
+      BhBody* b = acquire_body(i);
+      api.start_read(b);
+      snapshot[i] = *b;
+      api.end_read(b);
+      release(b);
+    }
+    std::uint64_t visits = 0;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (rr_owner(i, P) != me) continue;
+      double f[3];
+      walker.force(snapshot, i, p.theta, p.eps, f, &visits);
+      BhBody* b = acquire_body(i);
+      api.start_write(b);
+      for (int k = 0; k < 3; ++k) {
+        b->vel[k] += f[k] * p.dt / b->mass;
+        b->pos[k] += b->vel[k] * p.dt;
+      }
+      api.end_write(b);
+      release(b);
+      api.charge_compute(kBodyUpdateNs);
+    }
+    api.charge_compute(kWalkNodeNs * visits);
+    api.barrier(body_space);
+  }
+
+  double local = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (rr_owner(i, P) != me) continue;
+    BhBody* b = acquire_body(i);
+    api.start_read(b);
+    for (int k = 0; k < 3; ++k) local += b->pos[k];
+    api.end_read(b);
+    release(b);
+  }
+  res.checksum = api.allreduce_sum(local);
+  if (me == 0) {
+    res.final_state.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      BhBody* b = acquire_body(i);
+      api.start_read(b);
+      res.final_state[i] = *b;
+      api.end_read(b);
+      release(b);
+    }
+  }
+  api.barrier(body_space);
+  return res;
+}
+
+}  // namespace apps

@@ -1,0 +1,125 @@
+#include "apps/bsc.hpp"
+
+#include <cmath>
+
+namespace apps {
+
+namespace bsc_detail {
+
+// In-place dense Cholesky of a bs x bs SPD block (lower triangle; the upper
+// triangle is zeroed so block contents compare exactly).
+void chol_block(double* a, std::uint32_t bs) {
+  for (std::uint32_t k = 0; k < bs; ++k) {
+    double d = a[k * bs + k];
+    for (std::uint32_t t = 0; t < k; ++t) d -= a[k * bs + t] * a[k * bs + t];
+    ACE_CHECK_MSG(d > 0, "block not positive definite");
+    const double lkk = std::sqrt(d);
+    a[k * bs + k] = lkk;
+    for (std::uint32_t i = k + 1; i < bs; ++i) {
+      double v = a[i * bs + k];
+      for (std::uint32_t t = 0; t < k; ++t) v -= a[i * bs + t] * a[k * bs + t];
+      a[i * bs + k] = v / lkk;
+    }
+    for (std::uint32_t jj = k + 1; jj < bs; ++jj) a[k * bs + jj] = 0;
+  }
+}
+
+// A <- A * Lkk^-T (right triangular solve; Lkk lower-triangular).
+void trsm_block(const double* lkk, double* a, std::uint32_t bs) {
+  for (std::uint32_t i = 0; i < bs; ++i) {
+    for (std::uint32_t j = 0; j < bs; ++j) {
+      double v = a[i * bs + j];
+      for (std::uint32_t t = 0; t < j; ++t)
+        v -= a[i * bs + t] * lkk[j * bs + t];
+      a[i * bs + j] = v / lkk[j * bs + j];
+    }
+  }
+}
+
+// Aij -= Lik * Ljk'
+void gemm_update(const double* lik, const double* ljk, double* aij,
+                 std::uint32_t bs) {
+  for (std::uint32_t i = 0; i < bs; ++i)
+    for (std::uint32_t j = 0; j < bs; ++j) {
+      double v = 0;
+      for (std::uint32_t t = 0; t < bs; ++t)
+        v += lik[i * bs + t] * ljk[j * bs + t];
+      aij[i * bs + j] -= v;
+    }
+}
+
+}  // namespace bsc_detail
+
+BscInput bsc_generate(const BscParams& p) {
+  const BscLayout lay{p.n_block_cols, p.block, p.band};
+  const std::uint32_t bs = p.block;
+  ace::Rng rng(p.seed);
+
+  BscInput in;
+  in.layout = lay;
+  in.l0.resize(lay.nb);
+  // Generator L0: banded lower-triangular with a dominant positive diagonal.
+  for (std::uint32_t j = 0; j < lay.nb; ++j) {
+    const std::uint32_t rows = std::min(lay.band, lay.nb - j);
+    in.l0[j].resize(rows);
+    for (std::uint32_t s = 0; s < rows; ++s) {
+      auto& b = in.l0[j][s];
+      b.assign(bs * bs, 0.0);
+      for (std::uint32_t r = 0; r < bs; ++r)
+        for (std::uint32_t c = 0; c < bs; ++c) {
+          if (s == 0 && c > r) continue;  // diagonal block: lower triangle
+          b[r * bs + c] = rng.next_double(-0.1, 0.1);
+        }
+      if (s == 0)
+        for (std::uint32_t r = 0; r < bs; ++r)
+          b[r * bs + r] = rng.next_double(2.0, 3.0);  // dominance
+    }
+  }
+
+  // A = L0 * L0^T on the band: A(j+s, j) = sum_k L0(j+s, k) L0(j, k)^T.
+  in.a.resize(lay.nb);
+  for (std::uint32_t j = 0; j < lay.nb; ++j) {
+    const std::uint32_t rows = std::min(lay.band, lay.nb - j);
+    in.a[j].resize(rows);
+    for (std::uint32_t s = 0; s < rows; ++s) {
+      const std::uint32_t i = j + s;
+      auto& blk = in.a[j][s];
+      blk.assign(bs * bs, 0.0);
+      for (std::uint32_t k = 0; k < lay.nb; ++k) {
+        if (!lay.in_band(i, k) || !lay.in_band(j, k)) continue;
+        const auto& lik = in.l0[k][lay.slot(i, k)];
+        const auto& ljk = in.l0[k][lay.slot(j, k)];
+        for (std::uint32_t r = 0; r < bs; ++r)
+          for (std::uint32_t c = 0; c < bs; ++c) {
+            double v = 0;
+            for (std::uint32_t t = 0; t < bs; ++t)
+              v += lik[r * bs + t] * ljk[c * bs + t];
+            blk[r * bs + c] += v;
+          }
+      }
+    }
+  }
+  return in;
+}
+
+std::vector<std::vector<std::vector<double>>> bsc_reference(
+    const BscParams& p) {
+  const BscLayout lay{p.n_block_cols, p.block, p.band};
+  const std::uint32_t bs = p.block;
+  BscInput in = bsc_generate(p);
+  auto l = in.a;  // factor in place, same order as the parallel code
+  for (std::uint32_t k = 0; k < lay.nb; ++k) {
+    bsc_detail::chol_block(l[k][0].data(), bs);
+    for (std::uint32_t s = 1; s < l[k].size(); ++s)
+      bsc_detail::trsm_block(l[k][0].data(), l[k][s].data(), bs);
+    for (std::uint32_t j = k + 1; j < std::min(k + lay.band, lay.nb); ++j) {
+      const std::uint32_t sj = lay.slot(j, k);
+      for (std::uint32_t i = j; i < std::min(k + lay.band, lay.nb); ++i)
+        bsc_detail::gemm_update(l[k][lay.slot(i, k)].data(), l[k][sj].data(),
+                                l[j][lay.slot(i, j)].data(), bs);
+    }
+  }
+  return l;
+}
+
+}  // namespace apps

@@ -1,0 +1,194 @@
+// Blocked Sparse Cholesky (§5.2, Rothberg): right-looking supernodal
+// factorization of a block-banded SPD matrix, block-column distributed.
+//
+// The paper's input (`Tk15.O`) is not available; we substitute a synthetic
+// block-banded SPD matrix A = L0 * L0' generated from a seed (see DESIGN.md).
+// The banded structure keeps the elimination pattern closed (no fill outside
+// the band), which is the property the supernodal BCS code path relies on,
+// and gives an exact factorization target: the computed L must reproduce L0.
+//
+// Sharing pattern: every block is written only by the owner of its column
+// ("data are written only by the processors that created them", §5.2) and
+// read in bulk by the owners of the columns it updates.  Regions are whole
+// blocks (kBlock x kBlock doubles), so even the default SC protocol moves
+// each block in one bulk transfer — which is why the paper reports only a
+// marginal win for the custom (HomeWrite) protocol here: all it removes is
+// the invalidation/recall control traffic.
+//
+// Compute charge: kFlopNs per floating-point operation in the block kernels
+// (a 33MHz SPARC does on the order of a few MFLOPS on blocked code).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/api.hpp"
+#include "apps/ids.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace apps {
+
+struct BscParams {
+  std::uint32_t n_block_cols = 24;  ///< block columns
+  std::uint32_t block = 16;         ///< block edge (doubles)
+  std::uint32_t band = 5;           ///< blocks per column incl. the diagonal
+  std::uint64_t seed = 99;
+  bool custom_protocols = false;    ///< HomeWrite for the matrix space
+};
+
+/// Dense storage of the banded block matrix: block (i,j) is kept when
+/// j <= i < j+band.  Indexing helper shared by the parallel and reference
+/// code.
+struct BscLayout {
+  std::uint32_t nb, bs, band;
+  bool in_band(std::uint32_t i, std::uint32_t j) const {
+    return i >= j && i < j + band && i < nb;
+  }
+  /// Linear index of block (i,j) in the per-column block list.
+  std::uint32_t slot(std::uint32_t i, std::uint32_t j) const {
+    ACE_DCHECK(in_band(i, j));
+    return i - j;
+  }
+};
+
+/// The synthetic input: returns the block-banded A (as per-column block
+/// vectors) and the generator L0 it was built from.
+struct BscInput {
+  BscLayout layout;
+  /// a[j][s] is the bs*bs block (j+s, j), row-major.
+  std::vector<std::vector<std::vector<double>>> a;
+  std::vector<std::vector<std::vector<double>>> l0;
+};
+
+BscInput bsc_generate(const BscParams& p);
+
+/// Sequential reference factorization (same arithmetic order).
+std::vector<std::vector<std::vector<double>>> bsc_reference(const BscParams& p);
+
+struct BscResult {
+  double checksum = 0;  ///< sum of all L entries (agreed globally)
+  /// Factored blocks owned by this processor: (col, slot) -> block.
+  std::vector<std::vector<std::vector<double>>> l_local;
+};
+
+inline constexpr std::uint64_t kFlopNs = 15;
+
+namespace bsc_detail {
+void chol_block(double* a, std::uint32_t bs);                     // A -> L
+void trsm_block(const double* lkk, double* a, std::uint32_t bs);  // A L^-T
+void gemm_update(const double* lik, const double* ljk, double* aij,
+                 std::uint32_t bs);  // Aij -= Lik Ljk'
+}  // namespace bsc_detail
+
+template <class Api>
+BscResult bsc_run(Api& api, const BscParams& p) {
+  const std::uint32_t P = api.nprocs();
+  const ProcId me = api.me();
+  const BscLayout lay{p.n_block_cols, p.block, p.band};
+  const std::uint32_t bs = p.block;
+  const std::uint32_t block_bytes = bs * bs * sizeof(double);
+  const BscInput input = bsc_generate(p);
+
+  const std::uint32_t mat_space = api.new_space(ace::proto_names::kSC);
+
+  // One region per block; column j (and all its blocks) owned by proc j%P.
+  std::vector<std::vector<RegionId>> ids(lay.nb);
+  for (std::uint32_t j = 0; j < lay.nb; ++j)
+    ids[j].resize(std::min(lay.band, lay.nb - j));
+  for (std::uint32_t j = 0; j < lay.nb; ++j)
+    if (rr_owner(j, P) == me)
+      for (auto& id : ids[j]) id = api.gmalloc(mat_space, block_bytes);
+  // Share ids column-block-wise: flatten, share, unflatten.
+  {
+    std::vector<RegionId> flat;
+    std::vector<std::uint32_t> col_of;
+    for (std::uint32_t j = 0; j < lay.nb; ++j)
+      for (auto id : ids[j]) {
+        flat.push_back(id);
+        col_of.push_back(j);
+      }
+    share_ids(api, flat,
+              [&](std::size_t k) { return rr_owner(col_of[k], P); });
+    std::size_t k = 0;
+    for (std::uint32_t j = 0; j < lay.nb; ++j)
+      for (auto& id : ids[j]) id = flat[k++];
+  }
+
+  // Owners load A into their blocks under SC, then switch protocols.
+  std::vector<std::vector<double*>> blk(lay.nb);
+  for (std::uint32_t j = 0; j < lay.nb; ++j) {
+    blk[j].resize(ids[j].size());
+    for (std::uint32_t s = 0; s < ids[j].size(); ++s)
+      blk[j][s] = static_cast<double*>(api.map(ids[j][s]));
+  }
+  for (std::uint32_t j = 0; j < lay.nb; ++j) {
+    if (rr_owner(j, P) != me) continue;
+    for (std::uint32_t s = 0; s < ids[j].size(); ++s) {
+      api.start_write(blk[j][s]);
+      std::copy(input.a[j][s].begin(), input.a[j][s].end(), blk[j][s]);
+      api.end_write(blk[j][s]);
+    }
+  }
+  api.barrier(mat_space);
+  if (p.custom_protocols)
+    api.change_protocol(mat_space, ace::proto_names::kHomeWrite);
+
+  // Right-looking factorization.
+  for (std::uint32_t k = 0; k < lay.nb; ++k) {
+    if (rr_owner(k, P) == me) {
+      // Factor the diagonal block, then triangular-solve the sub-blocks.
+      api.start_write(blk[k][0]);
+      bsc_detail::chol_block(blk[k][0], bs);
+      api.end_write(blk[k][0]);
+      api.charge_compute(kFlopNs * bs * bs * bs / 3);
+      for (std::uint32_t s = 1; s < ids[k].size(); ++s) {
+        api.start_read(blk[k][0]);
+        api.start_write(blk[k][s]);
+        bsc_detail::trsm_block(blk[k][0], blk[k][s], bs);
+        api.end_write(blk[k][s]);
+        api.end_read(blk[k][0]);
+        api.charge_compute(kFlopNs * bs * bs * bs);
+      }
+    }
+    api.barrier(mat_space);
+    // Everyone updates its own columns j in (k, k+band) with L[:,k].
+    for (std::uint32_t j = k + 1; j < std::min(k + lay.band, lay.nb); ++j) {
+      if (rr_owner(j, P) != me) continue;
+      const std::uint32_t sj = lay.slot(j, k);
+      api.start_read(blk[k][sj]);  // L(j,k), bulk fetch from col-k owner
+      for (std::uint32_t i = j; i < std::min(k + lay.band, lay.nb); ++i) {
+        const std::uint32_t si = lay.slot(i, k);
+        api.start_read(blk[k][si]);
+        api.start_write(blk[j][lay.slot(i, j)]);
+        bsc_detail::gemm_update(blk[k][si], blk[k][sj],
+                                blk[j][lay.slot(i, j)], bs);
+        api.end_write(blk[j][lay.slot(i, j)]);
+        api.end_read(blk[k][si]);
+        api.charge_compute(kFlopNs * 2 * bs * bs * bs);
+      }
+      api.end_read(blk[k][sj]);
+    }
+    api.barrier(mat_space);
+  }
+
+  // Results.
+  double local = 0;
+  BscResult res;
+  res.l_local.resize(lay.nb);
+  for (std::uint32_t j = 0; j < lay.nb; ++j) {
+    if (rr_owner(j, P) != me) continue;
+    res.l_local[j].resize(ids[j].size());
+    for (std::uint32_t s = 0; s < ids[j].size(); ++s) {
+      api.start_read(blk[j][s]);
+      res.l_local[j][s].assign(blk[j][s], blk[j][s] + bs * bs);
+      for (std::uint32_t t = 0; t < bs * bs; ++t) local += blk[j][s][t];
+      api.end_read(blk[j][s]);
+    }
+  }
+  res.checksum = api.allreduce_sum(local);
+  api.barrier(mat_space);
+  return res;
+}
+
+}  // namespace apps

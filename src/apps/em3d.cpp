@@ -1,0 +1,62 @@
+#include "apps/em3d.hpp"
+
+namespace apps {
+
+Em3dGraph em3d_build_graph(const Em3dParams& p, std::uint32_t nprocs) {
+  ACE_CHECK_MSG(p.n_e > 0 && p.n_h > 0 && p.degree > 0, "degenerate EM3D");
+  Em3dGraph g;
+  g.e_in.resize(p.n_e);
+  g.h_in.resize(p.n_h);
+  g.e_init.resize(p.n_e);
+  g.h_init.resize(p.n_h);
+  ace::Rng rng(p.seed);
+
+  // Pick a neighbour for node i (owned by i%P): remote with probability
+  // pct_remote, i.e. a node whose owner differs from i's owner.
+  auto pick = [&](std::uint32_t i, std::uint32_t n_other) {
+    const ProcId my_owner = rr_owner(i, nprocs);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto j = static_cast<std::uint32_t>(rng.next_below(n_other));
+      const bool remote = rr_owner(j, nprocs) != my_owner;
+      if (remote == rng.next_bool(p.pct_remote)) return j;
+    }
+    return static_cast<std::uint32_t>(rng.next_below(n_other));
+  };
+
+  for (std::uint32_t i = 0; i < p.n_e; ++i) {
+    g.e_init[i] = rng.next_double(-1.0, 1.0);
+    for (std::uint32_t d = 0; d < p.degree; ++d)
+      g.e_in[i].emplace_back(pick(i, p.n_h), rng.next_double(0.0, 0.2));
+  }
+  for (std::uint32_t i = 0; i < p.n_h; ++i) {
+    g.h_init[i] = rng.next_double(-1.0, 1.0);
+    for (std::uint32_t d = 0; d < p.degree; ++d)
+      g.h_in[i].emplace_back(pick(i, p.n_e), rng.next_double(0.0, 0.2));
+  }
+  return g;
+}
+
+std::pair<std::vector<double>, std::vector<double>> em3d_reference(
+    const Em3dParams& p, std::uint32_t nprocs) {
+  const Em3dGraph g = em3d_build_graph(p, nprocs);
+  std::vector<double> e = g.e_init, h = g.h_init;
+  for (std::uint32_t t = 0; t < p.steps; ++t) {
+    std::vector<double> e_next(p.n_e);
+    for (std::uint32_t i = 0; i < p.n_e; ++i) {
+      double acc = 0;
+      for (auto [hj, w] : g.e_in[i]) acc += w * h[hj];
+      e_next[i] = acc;
+    }
+    e = e_next;  // all E updated before any H reads them (barrier semantics)
+    std::vector<double> h_next(p.n_h);
+    for (std::uint32_t i = 0; i < p.n_h; ++i) {
+      double acc = 0;
+      for (auto [ej, w] : g.h_in[i]) acc += w * e[ej];
+      h_next[i] = acc;
+    }
+    h = h_next;
+  }
+  return {std::move(e), std::move(h)};
+}
+
+}  // namespace apps

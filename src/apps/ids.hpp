@@ -1,0 +1,38 @@
+// Region-id exchange helper for SPMD applications.
+//
+// Region ids encode their home processor, but the *values* are only known to
+// the allocator; applications distribute a table of ids after allocation.
+// `share_ids` fills a global table where entry i was allocated by
+// owner_of(i): each owner packs its slice and broadcasts it, in processor
+// order, so every processor ends with the complete table.
+#pragma once
+
+#include <vector>
+
+#include "apps/api.hpp"
+
+namespace apps {
+
+template <class Api, class OwnerFn>
+void share_ids(Api& api, std::vector<RegionId>& ids, OwnerFn owner_of) {
+  const std::uint32_t P = api.nprocs();
+  for (ProcId root = 0; root < P; ++root) {
+    std::vector<RegionId> slice;
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      if (owner_of(i) == root) slice.push_back(ids[i]);
+    if (slice.empty()) continue;
+    api.bcast_bytes(slice.data(),
+                    static_cast<std::uint32_t>(slice.size() * sizeof(RegionId)),
+                    root);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < ids.size(); ++i)
+      if (owner_of(i) == root) ids[i] = slice[k++];
+  }
+}
+
+/// Round-robin ownership (node i lives on processor i mod P).
+inline ProcId rr_owner(std::size_t i, std::uint32_t nprocs) {
+  return static_cast<ProcId>(i % nprocs);
+}
+
+}  // namespace apps

@@ -1,0 +1,80 @@
+#include "apps/tsp.hpp"
+
+#include <cmath>
+
+namespace apps {
+
+std::vector<std::uint32_t> tsp_distances(const TspParams& p) {
+  const std::uint32_t n = p.n_cities;
+  ace::Rng rng(p.seed);
+  // Random points on a 1000x1000 grid; rounded Euclidean distances keep the
+  // optimum integral and exactly comparable against the Held-Karp reference.
+  std::vector<double> x(n), y(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    x[i] = rng.next_double(0, 1000);
+    y[i] = rng.next_double(0, 1000);
+  }
+  std::vector<std::uint32_t> d(n * n, 0);
+  for (std::uint32_t i = 0; i < n; ++i)
+    for (std::uint32_t j = 0; j < n; ++j) {
+      const double dx = x[i] - x[j], dy = y[i] - y[j];
+      d[i * n + j] =
+          static_cast<std::uint32_t>(std::sqrt(dx * dx + dy * dy) + 0.5);
+    }
+  return d;
+}
+
+std::uint64_t tsp_reference(const TspParams& p) {
+  const std::uint32_t n = p.n_cities;
+  const auto d = tsp_distances(p);
+  ACE_CHECK_MSG(n <= 20, "Held-Karp reference limited to 20 cities");
+  const std::uint32_t m = n - 1;  // cities 1..n-1; city 0 is fixed start
+  const std::size_t full = std::size_t(1) << m;
+  constexpr std::uint64_t kInf = UINT64_MAX / 4;
+  std::vector<std::uint64_t> dp(full * m, kInf);
+  for (std::uint32_t c = 0; c < m; ++c)
+    dp[(std::size_t(1) << c) * m + c] = d[0 * n + (c + 1)];
+  for (std::size_t mask = 1; mask < full; ++mask) {
+    for (std::uint32_t last = 0; last < m; ++last) {
+      if (!(mask >> last & 1)) continue;
+      const std::uint64_t cur = dp[mask * m + last];
+      if (cur >= kInf) continue;
+      for (std::uint32_t nxt = 0; nxt < m; ++nxt) {
+        if (mask >> nxt & 1) continue;
+        const std::size_t nm = mask | (std::size_t(1) << nxt);
+        const std::uint64_t cand = cur + d[(last + 1) * n + (nxt + 1)];
+        if (cand < dp[nm * m + nxt]) dp[nm * m + nxt] = cand;
+      }
+    }
+  }
+  std::uint64_t best = kInf;
+  for (std::uint32_t last = 0; last < m; ++last)
+    best = std::min(best, dp[(full - 1) * m + last] + d[(last + 1) * n + 0]);
+  return best;
+}
+
+namespace tsp_detail {
+
+std::uint64_t greedy_bound(std::uint32_t n, const std::vector<std::uint32_t>& d) {
+  std::vector<bool> used(n, false);
+  used[0] = true;
+  std::uint32_t cur = 0;
+  std::uint64_t len = 0;
+  for (std::uint32_t step = 1; step < n; ++step) {
+    std::uint32_t best_city = 0;
+    std::uint64_t best_d = UINT64_MAX;
+    for (std::uint32_t c = 1; c < n; ++c)
+      if (!used[c] && d[cur * n + c] < best_d) {
+        best_d = d[cur * n + c];
+        best_city = c;
+      }
+    used[best_city] = true;
+    len += best_d;
+    cur = best_city;
+  }
+  return len + d[cur * n + 0];
+}
+
+}  // namespace tsp_detail
+
+}  // namespace apps

@@ -1,0 +1,187 @@
+// Traveling Salesman (§5.2, from the CRL 1.0 distribution): branch-and-bound
+// over tours of n cities, parallelized with a shared job counter that hands
+// out search-tree prefixes and a shared best-tour bound used for pruning.
+//
+// Sharing pattern: the job counter is a tiny, write-hot region hammered by
+// every processor — under the default SC protocol each draw migrates
+// exclusive ownership (write miss + invalidation/recall round trips); the
+// custom Counter protocol turns a draw into a single fetch-and-add round
+// trip at the home ("better management of accesses to a counter that is used
+// to assign jobs", §5.2).  The best-tour bound is read-hot and write-rare:
+// perfect for the default invalidation protocol in both modes.
+//
+// Compute charge: kTspNodeNs per search-tree node expansion.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "apps/api.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace apps {
+
+struct TspParams {
+  std::uint32_t n_cities = 12;  ///< paper: 12 cities
+  std::uint64_t seed = 777;
+  bool custom_counter = false;  ///< use the Counter protocol for job draws
+  /// How often a searcher re-reads the shared bound (every k expansions);
+  /// mirrors the CRL version's periodic bound refresh.
+  std::uint32_t bound_refresh = 16;
+};
+
+/// Deterministic symmetric integer distance matrix.
+std::vector<std::uint32_t> tsp_distances(const TspParams& p);
+
+/// Exact optimum via Held-Karp dynamic programming (reference).
+std::uint64_t tsp_reference(const TspParams& p);
+
+struct TspResult {
+  std::uint64_t best_len = 0;
+  std::uint64_t nodes_expanded = 0;  ///< this processor's expansions
+};
+
+inline constexpr std::uint64_t kTspNodeNs = 200;
+
+namespace tsp_detail {
+
+/// DFS with bound pruning below a fixed 3-city prefix.
+struct Searcher {
+  const std::uint32_t n;
+  const std::vector<std::uint32_t>& d;
+  std::uint64_t best;            // local view of the bound
+  std::uint64_t nodes = 0;
+  std::vector<std::uint32_t> path;
+  std::vector<bool> used;
+
+  Searcher(std::uint32_t n_, const std::vector<std::uint32_t>& d_,
+           std::uint64_t best_)
+      : n(n_), d(d_), best(best_), used(n_, false) {}
+
+  std::uint32_t dist(std::uint32_t a, std::uint32_t b) const {
+    return d[a * n + b];
+  }
+
+  template <class OnNode>
+  void dfs(std::uint32_t last, std::uint64_t len, std::uint32_t depth,
+           OnNode&& on_node) {
+    nodes += 1;
+    on_node(*this);
+    if (len >= best) return;
+    if (depth == n) {
+      const std::uint64_t total = len + dist(last, 0);
+      if (total < best) best = total;
+      return;
+    }
+    for (std::uint32_t c = 1; c < n; ++c) {
+      if (used[c]) continue;
+      const std::uint64_t nl = len + dist(last, c);
+      if (nl >= best) continue;
+      used[c] = true;
+      dfs(c, nl, depth + 1, on_node);
+      used[c] = false;
+    }
+  }
+};
+
+/// Greedy nearest-neighbour tour for the initial bound (deterministic).
+std::uint64_t greedy_bound(std::uint32_t n, const std::vector<std::uint32_t>& d);
+
+}  // namespace tsp_detail
+
+template <class Api>
+TspResult tsp_run(Api& api, const TspParams& p) {
+  const std::uint32_t n = p.n_cities;
+  ACE_CHECK_MSG(n >= 4, "TSP needs at least 4 cities");
+  const std::vector<std::uint32_t> d = tsp_distances(p);
+
+  const std::uint32_t counter_space = api.new_space(
+      p.custom_counter ? ace::proto_names::kCounter : ace::proto_names::kSC);
+  const std::uint32_t bound_space = api.new_space(ace::proto_names::kSC);
+
+  RegionId counter_id = 0, bound_id = 0;
+  if (api.me() == 0) {
+    counter_id = api.gmalloc(counter_space, sizeof(std::uint64_t));
+    bound_id = api.gmalloc(bound_space, sizeof(std::uint64_t));
+  }
+  counter_id = api.bcast_region(counter_id, 0);
+  bound_id = api.bcast_region(bound_id, 0);
+  auto* counter = static_cast<std::uint64_t*>(api.map(counter_id));
+  auto* bound = static_cast<std::uint64_t*>(api.map(bound_id));
+
+  if (api.me() == 0) {
+    api.start_write(bound);
+    *bound = tsp_detail::greedy_bound(n, d);
+    api.end_write(bound);
+  }
+  api.barrier(bound_space);
+
+  // Draw a job ticket.  Under SC this is a read-modify-write that migrates
+  // exclusive ownership; under the Counter protocol, start_write performs a
+  // fetch-and-add at the home and leaves the drawn ticket in *counter.
+  auto draw = [&]() -> std::uint64_t {
+    api.start_write(counter);
+    std::uint64_t t;
+    if (p.custom_counter) {
+      t = *counter;
+    } else {
+      t = *counter;
+      *counter = t + 1;
+    }
+    api.end_write(counter);
+    return t;
+  };
+
+  auto read_bound = [&]() -> std::uint64_t {
+    api.start_read(bound);
+    const std::uint64_t b = *bound;
+    api.end_read(bound);
+    return b;
+  };
+
+  auto publish_bound = [&](std::uint64_t v) {
+    api.start_write(bound);
+    if (v < *bound) *bound = v;
+    api.end_write(bound);
+  };
+
+  // Jobs: all ordered (second, third) city prefixes.
+  const std::uint64_t n_jobs =
+      std::uint64_t(n - 1) * (n - 2);  // second in 1..n-1, third != second
+
+  TspResult res;
+  tsp_detail::Searcher s(n, d, read_bound());
+  std::uint32_t since_refresh = 0;
+  for (std::uint64_t t = draw(); t < n_jobs; t = draw()) {
+    const auto a = static_cast<std::uint32_t>(t / (n - 2));
+    auto b = static_cast<std::uint32_t>(t % (n - 2));
+    const std::uint32_t second = 1 + a;
+    // third: b-th city among {1..n-1} \ {second}.
+    std::uint32_t third = 1 + b + (1 + b >= second ? 1 : 0);
+    ACE_DCHECK(third != second && third < n);
+
+    s.best = std::min(s.best, read_bound());
+    const std::uint64_t len0 = s.dist(0, second) + s.dist(second, third);
+    if (len0 >= s.best) continue;
+    s.used.assign(n, false);
+    s.used[0] = s.used[second] = s.used[third] = true;
+    const std::uint64_t before = s.best;
+    s.dfs(third, len0, 3, [&](tsp_detail::Searcher& sr) {
+      api.charge_compute(kTspNodeNs);
+      if (++since_refresh >= p.bound_refresh) {
+        since_refresh = 0;
+        sr.best = std::min(sr.best, read_bound());
+      }
+    });
+    if (s.best < before) publish_bound(s.best);
+  }
+
+  api.barrier(bound_space);
+  res.best_len = read_bound();
+  res.nodes_expanded = s.nodes;
+  return res;
+}
+
+}  // namespace apps

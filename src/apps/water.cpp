@@ -1,0 +1,42 @@
+#include "apps/water.hpp"
+
+namespace apps {
+
+std::vector<Mol> water_init(const WaterParams& p) {
+  ace::Rng rng(p.seed);
+  std::vector<Mol> mols(p.n_mols);
+  for (auto& m : mols)
+    for (int k = 0; k < 3; ++k) {
+      m.pos[k] = rng.next_double(-2.0, 2.0);
+      m.vel[k] = rng.next_double(-0.5, 0.5);
+    }
+  return mols;
+}
+
+std::vector<Mol> water_reference(const WaterParams& p) {
+  std::vector<Mol> mols = water_init(p);
+  const std::uint32_t n = p.n_mols;
+  for (std::uint32_t step = 0; step < p.steps; ++step) {
+    std::vector<double> force(3 * n, 0.0);
+    for (std::uint32_t i = 0; i < n; ++i)
+      for (std::uint32_t j = i + 1; j < n; ++j) {
+        double f[3] = {0, 0, 0};
+        water_detail::pair_force(mols[i].pos, mols[j].pos, f);
+        for (int k = 0; k < 3; ++k) {
+          force[3 * i + k] += f[k];
+          force[3 * j + k] -= f[k];
+        }
+      }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      double f[3] = {force[3 * i], force[3 * i + 1], force[3 * i + 2]};
+      water_detail::intra_force(mols[i].pos, f);
+      for (int k = 0; k < 3; ++k) {
+        mols[i].vel[k] += f[k] * p.dt;
+        mols[i].pos[k] += mols[i].vel[k] * p.dt;
+      }
+    }
+  }
+  return mols;
+}
+
+}  // namespace apps

@@ -1,0 +1,220 @@
+// Water (§2.2, §5.2, from SPLASH): n-body molecular dynamics alternating an
+// *intra-molecular* phase (each processor updates only its own molecules)
+// with an *inter-molecular* phase (O(n^2) pairwise forces, accumulated into
+// molecules owned by other processors).
+//
+// Simplification vs SPLASH water-nsquared (documented in DESIGN.md): a
+// molecule is a point mass under a softened pairwise attraction plus a local
+// harmonic "vibration" term standing in for the intra-molecular potential.
+// What matters for the protocols — and what is preserved — is the *access
+// pattern*: positions are written only by the owner (in intra) and read by
+// everyone (in inter); forces are accumulated into remote molecules by many
+// writers and consumed by the owner.
+//
+// Protocol story (§2.2, §5.2): with the default SC protocol the remote force
+// accumulations become write-miss/recall storms.  The custom configuration
+// uses HomeWrite for positions (owner writes, readers bulk-refetch per step),
+// PipelinedWrite for forces (remote contributions stream to the home without
+// stalls), and — as in the paper — switches both spaces to Null for the
+// intra phase ("a null protocol for the intra-processor phase", speedup of
+// two, §2.2).  The same application code runs under every assignment: the
+// accumulate-into-scratch idiom behaves identically under SC (exclusive
+// access to current contents) and PipelinedWrite (zeroed scratch + add at
+// home).
+//
+// Compute charge: kPairComputeNs per interaction pair, kMolUpdateNs per
+// molecule update.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "apps/api.hpp"
+#include "apps/ids.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace apps {
+
+struct WaterParams {
+  std::uint32_t n_mols = 512;  ///< paper: 512 molecules
+  std::uint32_t steps = 3;     ///< paper: 3 steps
+  std::uint64_t seed = 4242;
+  double dt = 1e-3;
+  bool custom_protocols = false;  ///< HomeWrite + PipelinedWrite (+ Null)
+  bool use_null_intra = true;     ///< switch to Null for the intra phase
+};
+
+struct Mol {
+  double pos[3];
+  double vel[3];
+};
+
+/// Deterministic initial state.
+std::vector<Mol> water_init(const WaterParams& p);
+
+/// Sequential reference: exact state after p.steps.
+std::vector<Mol> water_reference(const WaterParams& p);
+
+struct WaterResult {
+  double checksum = 0;           ///< sum of all coordinates (agreed globally)
+  std::vector<Mol> final_state;  ///< gathered on proc 0 only
+};
+
+inline constexpr std::uint64_t kPairComputeNs = 400;
+inline constexpr std::uint64_t kMolUpdateNs = 300;
+
+namespace water_detail {
+/// Softened pairwise attraction between positions a and b; adds to fa.
+inline void pair_force(const double* a, const double* b, double* fa) {
+  double dx = b[0] - a[0], dy = b[1] - a[1], dz = b[2] - a[2];
+  const double r2 = dx * dx + dy * dy + dz * dz + 0.05;
+  const double inv = 1.0 / (r2 * std::sqrt(r2));
+  fa[0] += dx * inv;
+  fa[1] += dy * inv;
+  fa[2] += dz * inv;
+}
+/// The intra-molecular "vibration" term: a harmonic pull toward the origin.
+inline void intra_force(const double* pos, double* f) {
+  for (int k = 0; k < 3; ++k) f[k] -= 0.1 * pos[k];
+}
+}  // namespace water_detail
+
+template <class Api>
+WaterResult water_run(Api& api, const WaterParams& p) {
+  const std::uint32_t P = api.nprocs();
+  const ProcId me = api.me();
+  const std::uint32_t n = p.n_mols;
+  const std::vector<Mol> init = water_init(p);
+
+  const std::uint32_t mol_space = api.new_space(ace::proto_names::kSC);
+  const std::uint32_t force_space = api.new_space(ace::proto_names::kSC);
+  const char* mol_proto =
+      p.custom_protocols ? ace::proto_names::kHomeWrite : ace::proto_names::kSC;
+  const char* force_proto = p.custom_protocols ? ace::proto_names::kPipelinedWrite
+                                               : ace::proto_names::kSC;
+
+  std::vector<RegionId> mol_ids(n), force_ids(n);
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (rr_owner(i, P) == me) {
+      mol_ids[i] = api.gmalloc(mol_space, sizeof(Mol));
+      force_ids[i] = api.gmalloc(force_space, 3 * sizeof(double));
+    }
+  share_ids(api, mol_ids, [&](std::size_t i) { return rr_owner(i, P); });
+  share_ids(api, force_ids, [&](std::size_t i) { return rr_owner(i, P); });
+
+  // Initialize own molecules under SC, then switch to the chosen protocols.
+  for (std::uint32_t i = 0; i < n; ++i)
+    if (rr_owner(i, P) == me) {
+      auto* m = static_cast<Mol*>(api.map(mol_ids[i]));
+      api.start_write(m);
+      *m = init[i];
+      api.end_write(m);
+    }
+  api.barrier(mol_space);
+  api.barrier(force_space);
+  if (p.custom_protocols) {
+    api.change_protocol(mol_space, mol_proto);
+    api.change_protocol(force_space, force_proto);
+  }
+
+  // Hoisted maps (hand-optimized style, §5.3).
+  std::vector<Mol*> mol(n);
+  std::vector<double*> force(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    mol[i] = static_cast<Mol*>(api.map(mol_ids[i]));
+    force[i] = static_cast<double*>(api.map(force_ids[i]));
+  }
+
+  // Pair (i,j), i<j, is computed by the owner of i when (i+j) is even, by
+  // the owner of j otherwise (SPLASH's symmetric-interaction balancing).
+  auto my_pair = [&](std::uint32_t i, std::uint32_t j) {
+    return rr_owner((i + j) % 2 == 0 ? i : j, P) == me;
+  };
+
+  std::vector<double> scratch(3 * n);
+  for (std::uint32_t step = 0; step < p.steps; ++step) {
+    // --- inter-molecular phase: pairwise forces --------------------------
+    std::fill(scratch.begin(), scratch.end(), 0.0);
+    std::vector<bool> touched(n, false);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = i + 1; j < n; ++j) {
+        if (!my_pair(i, j)) continue;
+        api.start_read(mol[i]);
+        api.start_read(mol[j]);
+        double f[3] = {0, 0, 0};
+        water_detail::pair_force(mol[i]->pos, mol[j]->pos, f);
+        api.end_read(mol[j]);
+        api.end_read(mol[i]);
+        for (int k = 0; k < 3; ++k) {
+          scratch[3 * i + k] += f[k];
+          scratch[3 * j + k] -= f[k];
+        }
+        touched[i] = touched[j] = true;
+        api.charge_compute(kPairComputeNs);
+      }
+    }
+    // Publish accumulated contributions, one region write per molecule.
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!touched[i]) continue;
+      api.start_write(force[i]);
+      for (int k = 0; k < 3; ++k) force[i][k] += scratch[3 * i + k];
+      api.end_write(force[i]);
+    }
+    api.barrier(force_space);
+    api.barrier(mol_space);
+
+    // --- intra-molecular phase: own molecules only ------------------------
+    if (p.custom_protocols && p.use_null_intra) {
+      api.change_protocol(mol_space, ace::proto_names::kNull);
+      api.change_protocol(force_space, ace::proto_names::kNull);
+    }
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (rr_owner(i, P) != me) continue;
+      api.start_read(force[i]);
+      double f[3] = {force[i][0], force[i][1], force[i][2]};
+      api.end_read(force[i]);
+      api.start_write(mol[i]);
+      water_detail::intra_force(mol[i]->pos, f);
+      for (int k = 0; k < 3; ++k) {
+        mol[i]->vel[k] += f[k] * p.dt;
+        mol[i]->pos[k] += mol[i]->vel[k] * p.dt;
+      }
+      api.end_write(mol[i]);
+      api.start_write(force[i]);
+      for (int k = 0; k < 3; ++k) force[i][k] = 0;
+      api.end_write(force[i]);
+      api.charge_compute(kMolUpdateNs);
+    }
+    if (p.custom_protocols && p.use_null_intra) {
+      api.change_protocol(mol_space, mol_proto);
+      api.change_protocol(force_space, force_proto);
+    } else {
+      api.barrier(mol_space);
+      api.barrier(force_space);
+    }
+  }
+
+  double local = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (rr_owner(i, P) != me) continue;
+    api.start_read(mol[i]);
+    for (int k = 0; k < 3; ++k) local += mol[i]->pos[k];
+    api.end_read(mol[i]);
+  }
+  WaterResult res;
+  res.checksum = api.allreduce_sum(local);
+  if (me == 0) {
+    res.final_state.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      api.start_read(mol[i]);
+      res.final_state[i] = *mol[i];
+      api.end_read(mol[i]);
+    }
+  }
+  api.barrier(mol_space);
+  return res;
+}
+
+}  // namespace apps

@@ -1,0 +1,31 @@
+// Cache-line alignment helpers.
+//
+// Per-processor mutable state (mailboxes, statistics, virtual clocks) is kept
+// on distinct cache lines so that the simulated "distributed" processors do
+// not contend through the host's coherence fabric — exactly the false-sharing
+// discipline the paper's §2.3 argues for at the DSM level.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace ace {
+
+// Pinned rather than std::hardware_destructive_interference_size: that value
+// varies with -mtune, which would make struct layouts ABI-unstable across
+// translation units compiled with different flags (GCC warns about exactly
+// this).  64 bytes is correct for every x86-64 and the common AArch64 parts.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps T so that distinct array elements never share a cache line.
+template <class T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace ace

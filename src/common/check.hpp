@@ -1,0 +1,39 @@
+// Invariant checking for the Ace runtime.
+//
+// Protocol state machines are the correctness core of a DSM; violated
+// invariants must fail loudly in every build type, so ACE_CHECK is always on.
+// ACE_DCHECK compiles out in release builds and is reserved for hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ace {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "ACE_CHECK failed: %s (%s:%d)%s%s\n", expr, file, line,
+               msg ? " — " : "", msg ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ace
+
+#define ACE_CHECK(expr)                                              \
+  do {                                                               \
+    if (!(expr)) ::ace::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define ACE_CHECK_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) ::ace::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define ACE_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define ACE_DCHECK(expr) ACE_CHECK(expr)
+#endif

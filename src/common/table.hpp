@@ -1,0 +1,65 @@
+// Plain-text table rendering for the benchmark harnesses.
+//
+// Every table/figure reproduction prints through this so that the output of
+// `bench/*` binaries lines up with the paper's tables and is trivially
+// diffable between runs.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ace {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+        width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+      std::fputs("| ", out);
+      for (std::size_t c = 0; c < header_.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : std::string();
+        std::fprintf(out, "%-*s | ", static_cast<int>(width[c]), cell.c_str());
+      }
+      std::fputc('\n', out);
+    };
+
+    print_row(header_);
+    std::fputs("|", out);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      for (std::size_t i = 0; i < width[c] + 2; ++i) std::fputc('-', out);
+      std::fputc('|', out);
+    }
+    std::fputc('\n', out);
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers used by the bench harnesses.
+inline std::string fmt_f(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+inline std::string fmt_i(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+}  // namespace ace

@@ -1,0 +1,574 @@
+#include "crl/crl.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace crl {
+
+namespace {
+thread_local CrlProc* tls_proc = nullptr;
+
+CrlProc& cproc_of(Proc& p) {
+  auto* cp = static_cast<CrlProc*>(p.ctx(ace::am::kCtxCrl));
+  ACE_CHECK_MSG(cp != nullptr, "CRL runtime not attached to this processor");
+  return *cp;
+}
+
+std::uint64_t double_bits(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+double bits_double(std::uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+}  // namespace
+
+void CrlStats::merge(const CrlStats& o) {
+  maps += o.maps;
+  map_misses += o.map_misses;
+  start_reads += o.start_reads;
+  read_misses += o.read_misses;
+  start_writes += o.start_writes;
+  write_misses += o.write_misses;
+  invalidations += o.invalidations;
+  recalls += o.recalls;
+  fetches += o.fetches;
+}
+
+CrlRuntime::CrlRuntime(Machine& machine) : machine_(machine) {
+  procs_.resize(machine.nprocs());
+  h_op_ = machine_.register_handler(
+      [](Proc& p, Message& m) { cproc_of(p).handle(m); });
+  h_bcast_ = machine_.register_handler([](Proc& p, Message& m) {
+    CrlProc& cp = cproc_of(p);
+    ACE_CHECK_MSG(!cp.coll_.flag, "overlapping CRL collectives");
+    cp.coll_.buf = std::move(m.payload);
+    cp.coll_.flag = true;
+  });
+  h_gather_ = machine_.register_handler([](Proc& p, Message& m) {
+    CrlProc& cp = cproc_of(p);
+    cp.coll_.arrived += 1;
+    if (m.args[1] == 0)
+      cp.coll_.sum += bits_double(m.args[0]);
+    else
+      cp.coll_.min = std::min(cp.coll_.min, m.args[0]);
+  });
+}
+
+void CrlRuntime::run(const std::function<void(CrlProc&)>& fn) {
+  machine_.run([this, &fn](Proc& p) {
+    auto& slot = procs_[p.id()];
+    if (!slot) slot = std::make_unique<CrlProc>(*this, p);
+    tls_proc = slot.get();
+    fn(*slot);
+    tls_proc = nullptr;
+  });
+}
+
+CrlProc& CrlRuntime::cur() {
+  ACE_CHECK_MSG(tls_proc != nullptr,
+                "CRL API called outside CrlRuntime::run processor thread");
+  return *tls_proc;
+}
+
+CrlStats CrlRuntime::aggregate_stats() const {
+  CrlStats s;
+  for (const auto& p : procs_)
+    if (p) s.merge(p->stats_);
+  return s;
+}
+
+CrlProc::CrlProc(CrlRuntime& rt, Proc& proc)
+    : rt_(rt), proc_(proc), mapper_(regions_) {
+  proc_.set_ctx(ace::am::kCtxCrl, this);
+}
+
+CrlProc::~CrlProc() { proc_.set_ctx(ace::am::kCtxCrl, nullptr); }
+
+void CrlProc::send_op(ProcId dst, rid_t rid, Op op, std::uint64_t a,
+                      std::vector<std::byte> payload) {
+  proc_.send(dst, rt_.h_op_, {rid, op, a}, std::move(payload));
+}
+
+void CrlProc::install(Region& r, const std::vector<std::byte>& payload) {
+  ACE_CHECK_MSG(r.meta_valid() && payload.size() == r.size(),
+                "CRL data payload does not match region size");
+  std::memcpy(r.data(), payload.data(), payload.size());
+  r.version += 1;
+}
+
+std::vector<std::byte> CrlProc::snapshot(Region& r) {
+  std::vector<std::byte> out(r.size());
+  std::memcpy(out.data(), r.data(), r.size());
+  return out;
+}
+
+// --- API --------------------------------------------------------------------
+
+rid_t CrlProc::create(std::uint32_t size) {
+  ACE_CHECK_MSG(size > 0, "rgn_create of zero bytes");
+  const rid_t rid = ace::dsm::make_region_id(me(), next_seq_++);
+  Region& r = regions_.create_home(rid, size, /*space=*/0);
+  r.data();
+  return rid;
+}
+
+void* CrlProc::map(rid_t rid) {
+  proc_.poll();  // CRL polls at protocol entry points
+  stats_.maps += 1;
+  proc_.charge(proc_.machine().cost().map_slow_ns);
+  Region* r = mapper_.map_lookup(rid);
+  if (r == nullptr) {
+    // Either a region this processor has never seen, or one whose mapping
+    // node was evicted from the URC; re-register (CRL's miss path).
+    r = regions_.find(rid);
+    if (r == nullptr) {
+      ACE_CHECK_MSG(ace::dsm::region_home(rid) != me(),
+                    "rgn_map of an unknown home id");
+      r = &regions_.create_remote(rid);
+    }
+    Region* again = mapper_.map_lookup(rid);  // registers the node
+    ACE_CHECK(again == r);
+  }
+  if (!r->meta_valid()) {
+    stats_.map_misses += 1;
+    r->op_done = false;
+    send_op(ace::dsm::region_home(rid), rid, kMapReq);
+    proc_.charge_rtt();
+    proc_.wait_until([r] { return r->op_done; });
+  }
+  void* p = r->data();
+  r->map_count += 1;
+  return p;
+}
+
+void CrlProc::unmap(void* mapped) {
+  Region& r = *Region::from_data(mapped);
+  ACE_CHECK_MSG(r.map_count > 0, "rgn_unmap without a matching rgn_map");
+  proc_.charge(proc_.machine().cost().crl_op_ns);
+  r.map_count -= 1;
+  if (r.map_count == 0) mapper_.note_unmapped(r.id());
+}
+
+void CrlProc::start_read(void* mapped) {
+  proc_.poll();
+  Region& r = *Region::from_data(mapped);
+  stats_.start_reads += 1;
+  proc_.charge(proc_.machine().cost().crl_op_ns);
+  if (r.is_home()) {
+    auto& dir = r.ext_as<HomeDir>();
+    while (dir.owner != ace::dsm::kNoProc || dir.busy)
+      home_request(r, HomeDir::Kind::kLocalRead);
+  } else {
+    while (rstate(r) == kRemoteInvalid) {
+      stats_.read_misses += 1;
+      r.op_done = false;
+      send_op(r.home_proc(), r.id(), kReadReq);
+      proc_.charge_rtt();
+      proc_.wait_until([&r] { return r.op_done; });
+    }
+  }
+  r.active_readers += 1;
+}
+
+void CrlProc::end_read(void* mapped) {
+  Region& r = *Region::from_data(mapped);
+  ACE_CHECK_MSG(r.active_readers > 0, "rgn_end_read without start");
+  proc_.charge(proc_.machine().cost().crl_op_ns);
+  r.active_readers -= 1;
+  if (r.is_home())
+    maybe_finish_local_drain(r);
+  else
+    maybe_finish_deferred_remote(r);
+}
+
+void CrlProc::start_write(void* mapped) {
+  proc_.poll();
+  Region& r = *Region::from_data(mapped);
+  stats_.start_writes += 1;
+  proc_.charge(proc_.machine().cost().crl_op_ns);
+  if (r.is_home()) {
+    ACE_CHECK_MSG(r.active_readers == 0,
+                  "home write while holding a read on the same region");
+    auto& dir = r.ext_as<HomeDir>();
+    while (dir.owner != ace::dsm::kNoProc || !dir.sharers.empty() || dir.busy)
+      home_request(r, HomeDir::Kind::kLocalWrite);
+  } else {
+    ACE_CHECK_MSG(rstate(r) == kRemoteModified || r.active_readers == 0,
+                  "write upgrade while holding a read on the same region");
+    while (rstate(r) != kRemoteModified) {
+      stats_.write_misses += 1;
+      r.op_done = false;
+      send_op(r.home_proc(), r.id(), kWriteReq);
+      proc_.charge_rtt();
+      proc_.wait_until([&r] { return r.op_done; });
+    }
+  }
+  r.active_writers += 1;
+}
+
+void CrlProc::end_write(void* mapped) {
+  Region& r = *Region::from_data(mapped);
+  ACE_CHECK_MSG(r.active_writers > 0, "rgn_end_write without start");
+  proc_.charge(proc_.machine().cost().crl_op_ns);
+  r.active_writers -= 1;
+  if (r.is_home())
+    maybe_finish_local_drain(r);
+  else
+    maybe_finish_deferred_remote(r);
+}
+
+void CrlProc::barrier() { proc_.barrier(); }
+
+// --- protocol: requester-side deferred work ---------------------------------
+
+void CrlProc::maybe_finish_deferred_remote(Region& r) {
+  if (r.active_readers != 0 || r.active_writers != 0) return;
+  if (r.pstate & kPendingInv) {
+    r.pstate = kRemoteInvalid;
+    send_op(r.home_proc(), r.id(), kInvAck);
+  } else if (r.pstate & kPendingRecallShared) {
+    set_rstate(r, kRemoteShared);
+    r.pstate &= ~kPendingRecallShared;
+    send_op(r.home_proc(), r.id(), kRecallData, /*shared=*/1, snapshot(r));
+  } else if (r.pstate & kPendingRecallExcl) {
+    r.pstate = kRemoteInvalid;
+    send_op(r.home_proc(), r.id(), kRecallData, /*shared=*/0, snapshot(r));
+  }
+}
+
+void CrlProc::maybe_finish_local_drain(Region& r) {
+  if (r.active_readers != 0 || r.active_writers != 0) return;
+  auto& dir = r.ext_as<HomeDir>();
+  if (dir.busy && dir.waiting_local_drain) complete_pending(r);
+}
+
+// --- protocol: home side -----------------------------------------------------
+
+void CrlProc::home_request(Region& r, HomeDir::Kind kind) {
+  r.op_done = false;
+  enqueue_or_serve(r, kind, me());
+  if (!r.op_done) proc_.charge_rtt();
+  proc_.wait_until([&r] { return r.op_done; });
+}
+
+void CrlProc::enqueue_or_serve(Region& r, HomeDir::Kind kind,
+                               ProcId requester) {
+  auto& dir = r.ext_as<HomeDir>();
+  if (dir.busy)
+    dir.queue.emplace_back(kind, requester);
+  else
+    serve(r, kind, requester);
+}
+
+void CrlProc::serve(Region& r, HomeDir::Kind kind, ProcId requester,
+                    bool deferred) {
+  auto& dir = r.ext_as<HomeDir>();
+  ACE_DCHECK(!dir.busy);
+  using Kind = HomeDir::Kind;
+  switch (kind) {
+    case Kind::kRemoteRead: {
+      if (r.active_writers > 0) {
+        dir.busy = dir.waiting_local_drain = true;
+        dir.kind = kind;
+        dir.requester = requester;
+        return;
+      }
+      if (dir.owner != ace::dsm::kNoProc) {
+        dir.busy = true;
+        dir.kind = kind;
+        dir.requester = requester;
+        stats_.recalls += 1;
+        send_op(dir.owner, r.id(), kRecallShared);
+        return;
+      }
+      if (std::find(dir.sharers.begin(), dir.sharers.end(), requester) ==
+          dir.sharers.end())
+        dir.sharers.push_back(requester);
+      stats_.fetches += 1;
+      send_op(requester, r.id(), kReadData, deferred ? 1 : 0, snapshot(r));
+      return;
+    }
+    case Kind::kRemoteWrite: {
+      if (r.active_readers > 0 || r.active_writers > 0) {
+        dir.busy = dir.waiting_local_drain = true;
+        dir.kind = kind;
+        dir.requester = requester;
+        return;
+      }
+      if (dir.owner != ace::dsm::kNoProc) {
+        ACE_CHECK(dir.owner != requester);
+        dir.busy = true;
+        dir.kind = kind;
+        dir.requester = requester;
+        stats_.recalls += 1;
+        send_op(dir.owner, r.id(), kRecallExcl);
+        return;
+      }
+      std::uint32_t invs = 0;
+      for (ProcId s : dir.sharers)
+        if (s != requester) {
+          send_op(s, r.id(), kInv);
+          invs += 1;
+        }
+      if (invs > 0) {
+        dir.busy = true;
+        dir.kind = kind;
+        dir.requester = requester;
+        dir.pending_acks = invs;
+        stats_.invalidations += invs;
+        return;
+      }
+      grant_write(r, requester, deferred);
+      return;
+    }
+    case Kind::kLocalRead: {
+      if (dir.owner != ace::dsm::kNoProc) {
+        dir.busy = true;
+        dir.kind = kind;
+        dir.requester = requester;
+        stats_.recalls += 1;
+        send_op(dir.owner, r.id(), kRecallShared);
+        return;
+      }
+      r.op_done = true;
+      return;
+    }
+    case Kind::kLocalWrite: {
+      if (dir.owner != ace::dsm::kNoProc) {
+        dir.busy = true;
+        dir.kind = kind;
+        dir.requester = requester;
+        stats_.recalls += 1;
+        send_op(dir.owner, r.id(), kRecallExcl);
+        return;
+      }
+      if (!dir.sharers.empty()) {
+        dir.busy = true;
+        dir.kind = kind;
+        dir.requester = requester;
+        dir.pending_acks = static_cast<std::uint32_t>(dir.sharers.size());
+        stats_.invalidations += dir.pending_acks;
+        for (ProcId s : dir.sharers) send_op(s, r.id(), kInv);
+        return;
+      }
+      r.op_done = true;
+      return;
+    }
+    case Kind::kNone:
+      ACE_CHECK(false);
+  }
+}
+
+void CrlProc::grant_write(Region& r, ProcId requester, bool deferred) {
+  auto& dir = r.ext_as<HomeDir>();
+  const bool upgrade =
+      std::find(dir.sharers.begin(), dir.sharers.end(), requester) !=
+      dir.sharers.end();
+  dir.sharers.clear();
+  dir.owner = requester;
+  stats_.fetches += 1;
+  const std::uint64_t d = deferred ? 1 : 0;
+  if (upgrade)
+    send_op(requester, r.id(), kUpgradeAck, d);
+  else
+    send_op(requester, r.id(), kWriteData, d, snapshot(r));
+}
+
+void CrlProc::complete_pending(Region& r) {
+  auto& dir = r.ext_as<HomeDir>();
+  ACE_DCHECK(dir.busy);
+  using Kind = HomeDir::Kind;
+  const Kind kind = dir.kind;
+  const ProcId requester = dir.requester;
+  dir.busy = false;
+  dir.waiting_local_drain = false;
+  dir.kind = Kind::kNone;
+  dir.requester = ace::dsm::kNoProc;
+  switch (kind) {
+    case Kind::kRemoteRead:
+      serve(r, Kind::kRemoteRead, requester, /*deferred=*/true);
+      break;
+    case Kind::kRemoteWrite:
+      if (r.active_readers > 0 || r.active_writers > 0 ||
+          dir.owner != ace::dsm::kNoProc)
+        serve(r, Kind::kRemoteWrite, requester, /*deferred=*/true);
+      else
+        grant_write(r, requester, /*deferred=*/true);
+      break;
+    case Kind::kLocalRead:
+    case Kind::kLocalWrite:
+      r.op_done = true;
+      break;
+    case Kind::kNone:
+      ACE_CHECK(false);
+  }
+  while (!dir.busy && !dir.queue.empty()) {
+    auto [k, req] = dir.queue.front();
+    dir.queue.pop_front();
+    serve(r, k, req);
+  }
+}
+
+// --- message handling ---------------------------------------------------------
+
+void CrlProc::handle(Message& m) {
+  const rid_t rid = m.args[0];
+  Region* r = regions_.find(rid);
+  if (r == nullptr) {
+    ACE_CHECK_MSG(ace::dsm::region_home(rid) != me(),
+                  "CRL message names an unknown home region");
+    r = &regions_.create_remote(rid);
+  }
+  switch (static_cast<Op>(m.args[1])) {
+    case kMapReq:
+      ACE_CHECK(r->is_home());
+      send_op(m.src, rid, kMapAck, r->size());
+      return;
+    case kMapAck:
+      r->set_meta(static_cast<std::uint32_t>(m.args[2]), 0);
+      r->op_done = true;
+      return;
+    case kReadReq:
+      enqueue_or_serve(*r, HomeDir::Kind::kRemoteRead, m.src);
+      return;
+    case kWriteReq:
+      enqueue_or_serve(*r, HomeDir::Kind::kRemoteWrite, m.src);
+      return;
+    case kReadData:
+      if (m.args[2] == 1) proc_.charge_rtt();  // grant needed a recall round
+      install(*r, m.payload);
+      set_rstate(*r, kRemoteShared);
+      r->op_done = true;
+      return;
+    case kWriteData:
+      if (m.args[2] == 1) proc_.charge_rtt();
+      install(*r, m.payload);
+      set_rstate(*r, kRemoteModified);
+      r->op_done = true;
+      return;
+    case kUpgradeAck:
+      if (m.args[2] == 1) proc_.charge_rtt();
+      set_rstate(*r, kRemoteModified);
+      r->op_done = true;
+      return;
+    case kInv:
+      ACE_CHECK_MSG(rstate(*r) == kRemoteShared, "INV for a non-shared copy");
+      if (r->active_readers > 0) {
+        r->pstate |= kPendingInv;
+      } else {
+        r->pstate = kRemoteInvalid;
+        send_op(r->home_proc(), rid, kInvAck);
+      }
+      return;
+    case kInvAck: {
+      auto& dir = r->ext_as<HomeDir>();
+      ACE_DCHECK(dir.busy && dir.pending_acks > 0);
+      // The acker's copy is gone; drop it from the directory, or the next
+      // write would re-invalidate an already-invalid copy.
+      dir.sharers.erase(
+          std::remove(dir.sharers.begin(), dir.sharers.end(), m.src),
+          dir.sharers.end());
+      if (--dir.pending_acks == 0) complete_pending(*r);
+      return;
+    }
+    case kRecallShared:
+      ACE_CHECK_MSG(rstate(*r) == kRemoteModified, "recall of non-owned copy");
+      if (r->active_writers > 0) {
+        r->pstate |= kPendingRecallShared;
+      } else {
+        set_rstate(*r, kRemoteShared);
+        send_op(r->home_proc(), rid, kRecallData, /*shared=*/1, snapshot(*r));
+      }
+      return;
+    case kRecallExcl:
+      ACE_CHECK_MSG(rstate(*r) == kRemoteModified, "recall of non-owned copy");
+      if (r->active_writers > 0 || r->active_readers > 0) {
+        r->pstate |= kPendingRecallExcl;
+      } else {
+        r->pstate = kRemoteInvalid;
+        send_op(r->home_proc(), rid, kRecallData, /*shared=*/0, snapshot(*r));
+      }
+      return;
+    case kRecallData: {
+      auto& dir = r->ext_as<HomeDir>();
+      ACE_DCHECK(dir.busy);
+      install(*r, m.payload);
+      if (m.args[2] == 1) dir.sharers.push_back(m.src);
+      dir.owner = ace::dsm::kNoProc;
+      complete_pending(*r);
+      return;
+    }
+  }
+  ACE_CHECK_MSG(false, "unknown CRL opcode");
+}
+
+// --- collectives ---------------------------------------------------------------
+
+void CrlProc::bcast_bytes(void* data, std::uint32_t n, ProcId root) {
+  if (me() == root) {
+    std::vector<std::byte> payload(n);
+    std::memcpy(payload.data(), data, n);
+    for (ProcId p = 0; p < nprocs(); ++p)
+      if (p != me()) proc_.send(p, rt_.h_bcast_, {}, payload);
+  } else {
+    proc_.wait_until([this] { return coll_.flag; });
+    ACE_CHECK_MSG(coll_.buf.size() == n, "bcast size mismatch");
+    std::memcpy(data, coll_.buf.data(), n);
+    coll_.flag = false;
+    coll_.buf.clear();
+  }
+  proc_.barrier();
+}
+
+rid_t CrlProc::bcast_region(rid_t id, ProcId root) {
+  bcast_bytes(&id, sizeof id, root);
+  return id;
+}
+
+double CrlProc::allreduce_sum(double v) {
+  if (me() == 0) {
+    coll_.sum += v;
+    coll_.arrived += 1;
+    proc_.wait_until([this] { return coll_.arrived == nprocs(); });
+    v = coll_.sum;
+    coll_.sum = 0;
+    coll_.arrived = 0;
+  } else {
+    proc_.send(0, rt_.h_gather_, {double_bits(v), 0});
+  }
+  bcast_bytes(&v, sizeof v, 0);
+  return v;
+}
+
+std::uint64_t CrlProc::allreduce_min(std::uint64_t v) {
+  if (me() == 0) {
+    coll_.min = std::min(coll_.min, v);
+    coll_.arrived += 1;
+    proc_.wait_until([this] { return coll_.arrived == nprocs(); });
+    v = coll_.min;
+    coll_.min = UINT64_MAX;
+    coll_.arrived = 0;
+  } else {
+    proc_.send(0, rt_.h_gather_, {v, 1});
+  }
+  bcast_bytes(&v, sizeof v, 0);
+  return v;
+}
+
+// --- C-style API -----------------------------------------------------------------
+
+rid_t rgn_create(std::uint32_t size) { return CrlRuntime::cur().create(size); }
+void* rgn_map(rid_t rid) { return CrlRuntime::cur().map(rid); }
+void rgn_unmap(void* mapped) { CrlRuntime::cur().unmap(mapped); }
+void rgn_start_read(void* mapped) { CrlRuntime::cur().start_read(mapped); }
+void rgn_end_read(void* mapped) { CrlRuntime::cur().end_read(mapped); }
+void rgn_start_write(void* mapped) { CrlRuntime::cur().start_write(mapped); }
+void rgn_end_write(void* mapped) { CrlRuntime::cur().end_write(mapped); }
+void crl_barrier() { CrlRuntime::cur().barrier(); }
+
+}  // namespace crl

@@ -1,0 +1,200 @@
+// CRL baseline: an independent region-based software DSM with CRL 1.0's
+// programming interface and its fixed sequentially consistent
+// invalidation-based protocol (Johnson, Kaashoek, Wallach, SOSP '95).
+//
+// This is the comparison system for Figure 7a.  It differs from the Ace
+// runtime in exactly the ways §5.1 attributes the performance gap to:
+//
+//   * mapping uses CRL's two-level mapped-table + unmapped-region-cache
+//     (URC) path (dsm::UrcMapper) — slower per rgn_map, with URC eviction
+//     costs on working sets larger than the URC;
+//   * the protocol fast path is the stock CRL state walk (charged at
+//     CostModel::crl_op_ns), not Ace's redesigned one — but CRL pays *no*
+//     space->protocol dispatch indirection, which is why coarse-grained
+//     applications (BSC) come out even;
+//   * there are no spaces, no pluggable protocols, and no user-visible
+//     synchronization beyond the global barrier — shared variables all look
+//     alike ("In CRL, shared variables all have the same type", §1.1).
+//
+// The coherence state machine is the standard home-directory MSI over
+// regions; handlers never block and multi-step transitions are
+// continuation-based at the home, mirroring CRL's design.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "am/machine.hpp"
+#include "dsm/mapper.hpp"
+#include "dsm/region.hpp"
+
+namespace crl {
+
+using ace::am::Machine;
+using ace::am::Message;
+using ace::am::Proc;
+using ace::am::ProcId;
+using rid_t = ace::dsm::RegionId;
+using ace::dsm::Region;
+
+/// CRL operation counters (aggregated for the Figure 7a harness).
+struct CrlStats {
+  std::uint64_t maps = 0;
+  std::uint64_t map_misses = 0;
+  std::uint64_t start_reads = 0;
+  std::uint64_t read_misses = 0;
+  std::uint64_t start_writes = 0;
+  std::uint64_t write_misses = 0;
+  std::uint64_t invalidations = 0;
+  std::uint64_t recalls = 0;
+  std::uint64_t fetches = 0;
+
+  void merge(const CrlStats& o);
+};
+
+class CrlRuntime;
+
+/// Per-processor half of the CRL runtime (all calls from the owning thread).
+class CrlProc {
+ public:
+  CrlProc(CrlRuntime& rt, Proc& proc);
+  ~CrlProc();
+
+  // --- the CRL 1.0 interface ------------------------------------------------
+  rid_t create(std::uint32_t size);  // rgn_create: creator is home
+  void* map(rid_t rid);              // rgn_map
+  void unmap(void* mapped);          // rgn_unmap (demotes into the URC)
+  void start_read(void* mapped);
+  void end_read(void* mapped);
+  void start_write(void* mapped);
+  void end_write(void* mapped);
+  void barrier();
+
+  // --- conveniences shared with the Ace API for the templated apps ---------
+  void bcast_bytes(void* data, std::uint32_t n, ProcId root);
+  rid_t bcast_region(rid_t id, ProcId root);
+  double allreduce_sum(double v);
+  std::uint64_t allreduce_min(std::uint64_t v);
+
+  Proc& proc() { return proc_; }
+  ProcId me() const { return proc_.id(); }
+  std::uint32_t nprocs() const { return proc_.nprocs(); }
+  CrlStats& stats() { return stats_; }
+
+ private:
+  friend class CrlRuntime;
+
+  /// Remote-copy state in Region::pstate (CRL's remote states).
+  enum RState : std::uint32_t {
+    kRemoteInvalid = 0,
+    kRemoteShared = 1,
+    kRemoteModified = 2,
+    kStateMask = 3,
+    kPendingInv = 1u << 2,
+    kPendingRecallShared = 1u << 3,
+    kPendingRecallExcl = 1u << 4,
+  };
+
+  /// Home directory entry (CRL's home states collapse into owner/sharers).
+  struct HomeDir : ace::dsm::RegionExt {
+    enum class Kind : std::uint8_t {
+      kNone,
+      kRemoteRead,
+      kRemoteWrite,
+      kLocalRead,
+      kLocalWrite
+    };
+    std::vector<ProcId> sharers;
+    ProcId owner = ace::dsm::kNoProc;
+    bool busy = false;
+    bool waiting_local_drain = false;
+    std::uint32_t pending_acks = 0;
+    Kind kind = Kind::kNone;
+    ProcId requester = ace::dsm::kNoProc;
+    std::deque<std::pair<Kind, ProcId>> queue;
+  };
+
+  enum Op : std::uint32_t {
+    kMapReq,
+    kMapAck,
+    kReadReq,
+    kWriteReq,
+    kReadData,
+    kWriteData,
+    kUpgradeAck,
+    kInv,
+    kInvAck,
+    kRecallShared,
+    kRecallExcl,
+    kRecallData,
+  };
+
+  void handle(Message& m);
+  void send_op(ProcId dst, rid_t rid, Op op, std::uint64_t a = 0,
+               std::vector<std::byte> payload = {});
+  void home_request(Region& r, HomeDir::Kind kind);
+  void enqueue_or_serve(Region& r, HomeDir::Kind kind, ProcId requester);
+  /// `deferred`: the grant needed a recall/invalidation round first; the
+  /// reply carries the flag so the requester charges the second round trip.
+  void serve(Region& r, HomeDir::Kind kind, ProcId requester,
+             bool deferred = false);
+  void grant_write(Region& r, ProcId requester, bool deferred);
+  void complete_pending(Region& r);
+  void maybe_finish_deferred_remote(Region& r);
+  void maybe_finish_local_drain(Region& r);
+  void install(Region& r, const std::vector<std::byte>& payload);
+  std::vector<std::byte> snapshot(Region& r);
+
+  static std::uint32_t rstate(const Region& r) { return r.pstate & kStateMask; }
+  static void set_rstate(Region& r, std::uint32_t s) {
+    r.pstate = (r.pstate & ~kStateMask) | s;
+  }
+
+  CrlRuntime& rt_;
+  Proc& proc_;
+  ace::dsm::RegionSet regions_;
+  ace::dsm::UrcMapper mapper_;
+  std::uint64_t next_seq_ = 1;
+  CrlStats stats_;
+
+  struct Collective {
+    bool flag = false;
+    std::vector<std::byte> buf;
+    std::uint32_t arrived = 0;
+    double sum = 0;
+    std::uint64_t min = UINT64_MAX;
+  } coll_;
+};
+
+class CrlRuntime {
+ public:
+  explicit CrlRuntime(Machine& machine);
+
+  Machine& machine() { return machine_; }
+  void run(const std::function<void(CrlProc&)>& fn);
+  static CrlProc& cur();
+  CrlStats aggregate_stats() const;
+
+ private:
+  friend class CrlProc;
+  Machine& machine_;
+  std::vector<std::unique_ptr<CrlProc>> procs_;
+  ace::am::HandlerId h_op_ = 0;
+  ace::am::HandlerId h_bcast_ = 0;
+  ace::am::HandlerId h_gather_ = 0;
+};
+
+// --- CRL's C-style names, routed through the calling thread ---------------
+rid_t rgn_create(std::uint32_t size);
+void* rgn_map(rid_t rid);
+void rgn_unmap(void* mapped);
+void rgn_start_read(void* mapped);
+void rgn_end_read(void* mapped);
+void rgn_start_write(void* mapped);
+void rgn_end_write(void* mapped);
+void crl_barrier();
+
+}  // namespace crl

@@ -1,0 +1,66 @@
+#include "dsm/mapper.hpp"
+
+namespace ace::dsm {
+
+UrcMapper::Node* UrcMapper::find_node(RegionId id) {
+  Node* n = buckets_[id % kBuckets].get();
+  while (n != nullptr) {
+    probes_ += 1;
+    if (n->id == id) return n;
+    n = n->next.get();
+  }
+  return nullptr;
+}
+
+Region* UrcMapper::map_lookup(RegionId id) {
+  Node* n = find_node(id);
+  if (n != nullptr) {
+    if (n->in_urc) {
+      n->in_urc = false;
+      urc_size_ -= 1;
+    }
+    return n->region;
+  }
+  Region* r = regions_.find(id);
+  if (r == nullptr) return nullptr;
+  auto node = std::make_unique<Node>();
+  node->id = id;
+  node->region = r;
+  node->in_urc = false;
+  node->urc_tick = 0;
+  auto& head = buckets_[id % kBuckets];
+  node->next = std::move(head);
+  head = std::move(node);
+  return r;
+}
+
+void UrcMapper::note_unmapped(RegionId id) {
+  Node* n = find_node(id);
+  if (n == nullptr || n->in_urc) return;
+  n->in_urc = true;
+  n->urc_tick = ++tick_;
+  urc_size_ += 1;
+  if (urc_size_ <= urc_capacity_) return;
+
+  // Evict the oldest URC entry: unlink its mapping node.  The region's
+  // cached data stays in the RegionSet (coherence is unaffected); what the
+  // eviction models is CRL's extra re-registration work when a region that
+  // fell out of the URC is mapped again.
+  std::uint64_t oldest = UINT64_MAX;
+  RegionId victim = kInvalidRegion;
+  for (auto& bucket : buckets_)
+    for (Node* p = bucket.get(); p != nullptr; p = p->next.get())
+      if (p->in_urc && p->urc_tick < oldest) {
+        oldest = p->urc_tick;
+        victim = p->id;
+      }
+  ACE_CHECK(victim != kInvalidRegion);
+  auto& bucket = buckets_[victim % kBuckets];
+  std::unique_ptr<Node>* link = &bucket;
+  while ((*link)->id != victim) link = &(*link)->next;
+  std::unique_ptr<Node> dead = std::move(*link);
+  *link = std::move(dead->next);
+  urc_size_ -= 1;
+}
+
+}  // namespace ace::dsm

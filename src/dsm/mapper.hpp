@@ -1,0 +1,105 @@
+// The two mapping techniques compared in §5.1.
+//
+// Every shared access begins with a *map*: translating a machine-wide region
+// id into a pointer to the local copy.  The paper attributes part of Ace's
+// advantage over CRL to "a more efficient mapping technique", most visible in
+// fine-grained applications (Barnes-Hut, EM3D) where maps dominate.
+//
+//   * FastMapper — Ace's technique: a tiny MRU cache in front of a single
+//     open-addressed probe into the region index.  No allocation on the hit
+//     path, no pointer chasing.
+//   * UrcMapper — CRL 1.0's technique: a chained-bucket mapped-region table
+//     backed by a fixed-size "unmapped region cache" (URC).  Lookups chase
+//     per-entry nodes; unmapping demotes entries into the URC, evicting the
+//     oldest entry when full.  (In real CRL, URC eviction frees the cached
+//     data; we model that too — an evicted remote region drops its buffer, so
+//     re-mapping it re-fetches data on the next miss.)
+//
+// Both report per-call software cost through the machine's CostModel so the
+// modeled-time comparison reflects path length, and both are *really*
+// implemented (the wall-clock comparison in bench/micro_map is honest).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsm/region.hpp"
+
+namespace ace::dsm {
+
+/// Ace's mapping technique.
+class FastMapper {
+ public:
+  explicit FastMapper(RegionSet& regions) : regions_(regions) {}
+
+  /// Translate id -> Region, or nullptr if the processor has no handle yet.
+  Region* lookup(RegionId id) {
+    for (const auto& e : mru_)
+      if (e.id == id) return e.region;
+    Region* r = regions_.find(id);
+    if (r != nullptr) remember(id, r);
+    return r;
+  }
+
+  void remember(RegionId id, Region* r) {
+    for (std::size_t i = kMru - 1; i > 0; --i) mru_[i] = mru_[i - 1];
+    mru_[0] = {id, r};
+  }
+
+  void forget(RegionId id) {
+    for (auto& e : mru_)
+      if (e.id == id) e = {};
+  }
+
+ private:
+  static constexpr std::size_t kMru = 4;
+  struct Entry {
+    RegionId id = kInvalidRegion;
+    Region* region = nullptr;
+  };
+  RegionSet& regions_;
+  Entry mru_[kMru] = {};
+};
+
+/// CRL 1.0's mapping technique (mapped table + unmapped region cache).
+class UrcMapper {
+ public:
+  UrcMapper(RegionSet& regions, std::size_t urc_capacity = 64)
+      : regions_(regions), urc_capacity_(urc_capacity) {
+    buckets_.resize(kBuckets);
+  }
+
+  /// Translate id -> Region for a map call.  Returns nullptr if the
+  /// processor has no handle for id (including a handle whose mapping node
+  /// was evicted from the URC — the caller re-registers it, paying the miss
+  /// path, which is exactly the cost CRL pays on URC misses).
+  Region* map_lookup(RegionId id);
+
+  /// Move a fully unmapped region's entry into the URC.
+  void note_unmapped(RegionId id);
+
+  /// Number of chained nodes inspected so far (exposed for tests/benches).
+  std::uint64_t probes() const { return probes_; }
+
+ private:
+  struct Node {
+    RegionId id;
+    Region* region;
+    bool in_urc;            // demoted to the unmapped-region cache
+    std::uint64_t urc_tick; // FIFO age within the URC
+    std::unique_ptr<Node> next;
+  };
+
+  static constexpr std::size_t kBuckets = 32;  // CRL used a small fixed table
+  Node* find_node(RegionId id);
+
+  RegionSet& regions_;
+  std::size_t urc_capacity_;
+  std::size_t urc_size_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t probes_ = 0;
+  std::vector<std::unique_ptr<Node>> buckets_;
+};
+
+}  // namespace ace::dsm

@@ -1,0 +1,59 @@
+#include "dsm/region.hpp"
+
+namespace ace::dsm {
+
+namespace {
+std::size_t hash_id(RegionId id) {
+  // Fibonacci hashing; region ids are structured (home<<48|seq), so mix.
+  return static_cast<std::size_t>((id * 0x9e3779b97f4a7c15ULL) >> 17);
+}
+}  // namespace
+
+Region& RegionSet::create_home(RegionId id, std::uint32_t size,
+                               std::uint32_t space) {
+  ACE_CHECK_MSG(find(id) == nullptr, "duplicate home region id");
+  auto r = std::make_unique<Region>(id, /*is_home=*/true);
+  r->set_meta(size, space);
+  return insert(std::move(r));
+}
+
+Region& RegionSet::create_remote(RegionId id) {
+  ACE_CHECK_MSG(find(id) == nullptr, "duplicate remote region handle");
+  return insert(std::make_unique<Region>(id, /*is_home=*/false));
+}
+
+Region& RegionSet::insert(std::unique_ptr<Region> r) {
+  regions_.push_back(std::move(r));
+  if (table_.empty() || used_ * 4 >= table_.size() * 3) grow();
+  index_insert(regions_.back()->id(), regions_.size() - 1);
+  return *regions_.back();
+}
+
+Region* RegionSet::find(RegionId id) {
+  if (table_.empty()) return nullptr;
+  std::size_t i = hash_id(id) & mask_;
+  while (true) {
+    const auto& [slot_id, pos1] = table_[i];
+    if (pos1 == 0) return nullptr;
+    if (slot_id == id) return regions_[pos1 - 1].get();
+    i = (i + 1) & mask_;
+  }
+}
+
+void RegionSet::index_insert(RegionId id, std::size_t pos) {
+  std::size_t i = hash_id(id) & mask_;
+  while (table_[i].second != 0) i = (i + 1) & mask_;
+  table_[i] = {id, pos + 1};
+  used_ += 1;
+}
+
+void RegionSet::grow() {
+  const std::size_t cap = table_.empty() ? 64 : table_.size() * 2;
+  table_.assign(cap, {kInvalidRegion, 0});
+  mask_ = cap - 1;
+  used_ = 0;
+  for (std::size_t pos = 0; pos < regions_.size(); ++pos)
+    index_insert(regions_[pos]->id(), pos);
+}
+
+}  // namespace ace::dsm

@@ -1,0 +1,193 @@
+// Region-based DSM substrate: regions, region sets, and the pointer<->region
+// association trick shared by the Ace runtime and the CRL baseline.
+//
+// A *region* is the unit of coherence (§2.3: user-specified granularity).  A
+// region has a unique machine-wide id that encodes its home processor; the
+// home holds the master copy, remote processors hold cached copies created on
+// first map.  Protocols keep their per-region state in `pstate` (a small
+// state word) and, when they need more (sharer lists, deferred-request
+// queues), in a `RegionExt` subclass hung off the region.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "am/message.hpp"
+#include "common/check.hpp"
+
+namespace ace::dsm {
+
+using am::ProcId;
+
+/// Machine-wide region identifier: home processor in the top 16 bits, an
+/// allocation sequence number at the home in the low 48.  Id 0 is invalid.
+using RegionId = std::uint64_t;
+
+inline constexpr RegionId kInvalidRegion = 0;
+inline constexpr ProcId kNoProc = 0xffffffffu;
+
+inline RegionId make_region_id(ProcId home, std::uint64_t seq) {
+  ACE_DCHECK(seq != 0 && seq < (1ULL << 48));
+  return (static_cast<std::uint64_t>(home) << 48) | seq;
+}
+
+inline ProcId region_home(RegionId id) {
+  return static_cast<ProcId>(id >> 48);
+}
+
+/// Base class for protocol-specific per-region state.
+struct RegionExt {
+  virtual ~RegionExt() = default;
+};
+
+/// Home-side queue lock state (the system-provided default lock; §3.1:
+/// "synchronization routines ... with default routines provided by the
+/// system").
+struct LockState {
+  bool held = false;
+  ProcId holder = kNoProc;
+  std::deque<ProcId> waiters;
+};
+
+/// One processor's view of one region.  The data buffer is allocated with a
+/// back-pointer header so that the user-visible data pointer can be mapped
+/// back to its Region in O(1) — the same trick CRL uses to let `rgn_start_*`
+/// take the pointer returned by `rgn_map`.
+class Region {
+ public:
+  Region(RegionId id, bool is_home) : id_(id), home_(is_home) {}
+  Region(const Region&) = delete;
+  Region& operator=(const Region&) = delete;
+  ~Region() { release_data(); }
+
+  RegionId id() const { return id_; }
+  bool is_home() const { return home_; }
+  ProcId home_proc() const { return region_home(id_); }
+
+  /// True once size/space metadata is known (home: always; remote: after the
+  /// map request round-trip).
+  bool meta_valid() const { return meta_valid_; }
+  std::uint32_t size() const { return size_; }
+  std::uint32_t space() const { return space_; }
+
+  void set_meta(std::uint32_t size, std::uint32_t space) {
+    ACE_CHECK_MSG(!meta_valid_ || (size_ == size && space_ == space),
+                  "conflicting region metadata");
+    size_ = size;
+    space_ = space;
+    meta_valid_ = true;
+  }
+
+  /// The region's local buffer; allocated lazily (remote copies only get
+  /// storage when first mapped).
+  std::byte* data() {
+    if (buf_ == nullptr) allocate_data();
+    return buf_;
+  }
+  bool has_data() const { return buf_ != nullptr; }
+
+  /// Recover the Region from a pointer previously returned by data().
+  static Region* from_data(void* p) {
+    ACE_DCHECK(p != nullptr);
+    Region* r = *(reinterpret_cast<Region**>(p) - 1);
+    ACE_DCHECK(r != nullptr && r->buf_ == p);
+    return r;
+  }
+
+  // --- fields protocols and the runtime manipulate directly -------------
+  std::uint32_t pstate = 0;          ///< protocol-defined state word
+  std::uint32_t map_count = 0;       ///< active maps on this processor
+  std::uint32_t active_readers = 0;  ///< start_read..end_read nesting
+  std::uint32_t active_writers = 0;  ///< start_write..end_write nesting
+  std::uint64_t version = 0;         ///< bumped on each data installation
+  bool op_done = false;              ///< completion flag for blocking ops
+  std::uint64_t op_result = 0;       ///< optional reply value for blocking ops
+  std::unique_ptr<LockState> lock;   ///< home only, created on demand
+  std::unique_ptr<RegionExt> ext;    ///< protocol extension, created on demand
+
+  LockState& lock_state() {
+    if (!lock) lock = std::make_unique<LockState>();
+    return *lock;
+  }
+
+  template <class E>
+  E& ext_as() {
+    if (!ext) ext = std::make_unique<E>();
+    E* e = dynamic_cast<E*>(ext.get());
+    ACE_CHECK_MSG(e != nullptr, "protocol extension type mismatch");
+    return *e;
+  }
+
+  /// Drop the protocol extension (Ace_ChangeProtocol resets regions to the
+  /// base state; the incoming protocol starts from a clean slate).
+  void reset_protocol_state() {
+    pstate = 0;
+    ext.reset();
+  }
+
+ private:
+  void allocate_data() {
+    ACE_CHECK_MSG(meta_valid_, "allocating region data before metadata known");
+    // Layout: [Region* back-pointer][data bytes...], data 16-byte aligned.
+    constexpr std::size_t kHeader = 16;
+    static_assert(kHeader >= sizeof(Region*));
+    raw_ = std::make_unique<std::byte[]>(kHeader + size_);
+    buf_ = raw_.get() + kHeader;
+    std::memset(buf_, 0, size_);
+    *(reinterpret_cast<Region**>(buf_) - 1) = this;
+  }
+
+  void release_data() {
+    buf_ = nullptr;
+    raw_.reset();
+  }
+
+  RegionId id_;
+  bool home_;
+  bool meta_valid_ = false;
+  std::uint32_t size_ = 0;
+  std::uint32_t space_ = 0;
+  std::unique_ptr<std::byte[]> raw_;
+  std::byte* buf_ = nullptr;
+};
+
+/// All regions a processor knows about (home regions it allocated plus
+/// remote regions it has mapped).  Owns the Region objects; mappers index
+/// into this set.
+class RegionSet {
+ public:
+  /// Create the home copy of a freshly allocated region.
+  Region& create_home(RegionId id, std::uint32_t size, std::uint32_t space);
+
+  /// Create a placeholder for a remote region (metadata arrives later).
+  Region& create_remote(RegionId id);
+
+  /// nullptr if this processor has never seen the region.
+  Region* find(RegionId id);
+
+  /// All regions belonging to `space` (used by flush/barrier sweeps).
+  template <class Fn>
+  void for_each_in_space(std::uint32_t space, Fn&& fn) {
+    for (auto& r : regions_)
+      if (r->meta_valid() && r->space() == space) fn(*r);
+  }
+
+  std::size_t count() const { return regions_.size(); }
+
+ private:
+  Region& insert(std::unique_ptr<Region> r);
+  void index_insert(RegionId id, std::size_t pos);
+  void grow();
+
+  std::vector<std::unique_ptr<Region>> regions_;
+  // Open-addressed id -> position index (pos+1; 0 = empty slot).
+  std::vector<std::pair<RegionId, std::size_t>> table_;
+  std::size_t mask_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace ace::dsm

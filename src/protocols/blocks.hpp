@@ -1,0 +1,112 @@
+// Protocol building blocks (§6): "Protocol development would also be
+// facilitated by the creation of a library of protocol building blocks ...
+// We are currently attempting to isolate the primitives needed for such a
+// library."
+//
+// These are the primitives that kept recurring while writing the shipped
+// protocol library; new protocols (see race_check.hpp for a worked example)
+// compose them instead of re-deriving the idioms:
+//
+//   * SharerSet      — a home-side sharer directory with the insert/remove
+//                      discipline every update/invalidate protocol needs;
+//   * EpochLog       — per-region reader/writer sets for the current
+//                      barrier epoch (conflict detection, adaptivity);
+//   * fetch_service  — the request/reply pair behind every "fetch the
+//                      region from its home" miss path.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "ace/protocol.hpp"
+#include "ace/runtime.hpp"
+
+namespace ace::protocols::blocks {
+
+/// Home-side sharer directory.
+class SharerSet {
+ public:
+  void add(am::ProcId p) {
+    if (!contains(p)) procs_.push_back(p);
+  }
+  void remove(am::ProcId p) {
+    procs_.erase(std::remove(procs_.begin(), procs_.end(), p), procs_.end());
+  }
+  bool contains(am::ProcId p) const {
+    return std::find(procs_.begin(), procs_.end(), p) != procs_.end();
+  }
+  void clear() { procs_.clear(); }
+  bool empty() const { return procs_.empty(); }
+  std::size_t size() const { return procs_.size(); }
+  const std::vector<am::ProcId>& procs() const { return procs_; }
+
+  /// Send `op` with the region's current contents to every sharer except
+  /// `skip` (the canonical update-push loop).
+  void push_to_all(RuntimeProc& rp, Region& r, std::uint32_t op,
+                   am::ProcId skip = dsm::kNoProc) const {
+    for (am::ProcId p : procs_) {
+      if (p == skip) continue;
+      rp.dstats().updates += 1;
+      rp.send_proto(p, r.id(), op, 0, 0, rp.snapshot(r));
+    }
+  }
+
+ private:
+  std::vector<am::ProcId> procs_;
+};
+
+/// Who touched a region in the current barrier epoch (home side).
+struct EpochLog {
+  SharerSet readers;
+  SharerSet writers;
+
+  void clear() {
+    readers.clear();
+    writers.clear();
+  }
+
+  /// Record an access; returns true if it conflicts with an access already
+  /// logged this epoch by a *different* processor (write-write, or
+  /// read-write in either order).
+  bool record(am::ProcId p, bool is_write) {
+    bool conflict = false;
+    if (is_write) {
+      conflict = other_than(writers, p) || other_than(readers, p);
+      writers.add(p);
+    } else {
+      conflict = other_than(writers, p);
+      readers.add(p);
+    }
+    return conflict;
+  }
+
+ private:
+  static bool other_than(const SharerSet& s, am::ProcId p) {
+    for (am::ProcId q : s.procs())
+      if (q != p) return true;
+    return false;
+  }
+};
+
+/// The miss path: a requester blocks on a fetch; the home replies with the
+/// region contents.  Callers provide the two opcodes.
+inline void fetch_blocking(RuntimeProc& rp, Region& r, std::uint32_t req_op) {
+  rp.dstats().read_misses += 1;
+  rp.blocking_request(r,
+                      [&] { rp.send_proto(r.home_proc(), r.id(), req_op); });
+}
+
+/// Home-side half: serve a fetch request.
+inline void fetch_serve(RuntimeProc& rp, Region& r, am::ProcId requester,
+                        std::uint32_t reply_op) {
+  rp.dstats().fetches += 1;
+  rp.send_proto(requester, r.id(), reply_op, 0, 0, rp.snapshot(r));
+}
+
+/// Requester-side half: install the reply and wake the blocked op.
+inline void fetch_install(RuntimeProc& rp, Region& r, const am::Message& m) {
+  rp.install_data(r, m.payload);
+  r.op_done = true;
+}
+
+}  // namespace ace::protocols::blocks

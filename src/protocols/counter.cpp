@@ -1,0 +1,79 @@
+#include "protocols/counter.hpp"
+
+#include <cstring>
+
+namespace ace::protocols {
+
+const ProtocolInfo& CounterProtocol::static_info() {
+  static const ProtocolInfo info{
+      proto_names::kCounter,
+      kHookStartWrite | kHookBarrier | kHookLock | kHookUnlock,
+      /*optimizable=*/false};
+  return info;
+}
+
+void CounterProtocol::region_created(Region& r) {
+  ACE_CHECK_MSG(r.size() == sizeof(std::uint64_t),
+                "Counter regions hold exactly one uint64");
+  r.ext_as<Cell>().value = 0;
+}
+
+void CounterProtocol::init(Space& sp) {
+  // ChangeProtocol to Counter: the old protocol's flush left the current
+  // value in the home master copy; seed the live counter from it.
+  rp_.regions().for_each_in_space(sp.id(), [&](Region& r) {
+    if (!r.is_home()) return;
+    std::uint64_t seed;
+    std::memcpy(&seed, r.data(), sizeof seed);
+    r.ext_as<Cell>().value = seed;
+  });
+}
+
+void CounterProtocol::flush(Space& sp) {
+  // ChangeProtocol away from Counter: materialize the live value into the
+  // home master copy (the base state the next protocol starts from).
+  rp_.regions().for_each_in_space(sp.id(), [&](Region& r) {
+    if (!r.is_home()) return;
+    const std::uint64_t v = r.ext_as<Cell>().value;
+    std::memcpy(r.data(), &v, sizeof v);
+  });
+}
+
+void CounterProtocol::start_write(Region& r) {
+  auto* slot = reinterpret_cast<std::uint64_t*>(r.data());
+  if (r.is_home()) {
+    // Home draws locally; handlers for remote draws run on this same thread,
+    // so the increment is atomic with respect to them by construction.
+    auto& cell = r.ext_as<Cell>();
+    *slot = cell.value;
+    cell.value += 1;
+    return;
+  }
+  ACE_CHECK_MSG(r.size() == sizeof(std::uint64_t),
+                "Counter regions hold exactly one uint64");
+  rp_.dstats().write_misses += 1;
+  rp_.blocking_request(
+      r, [&] { rp_.send_proto(r.home_proc(), r.id(), kFetchAdd, 1); });
+  *slot = r.op_result;
+}
+
+void CounterProtocol::on_message(Region& r, std::uint32_t op, am::Message& m) {
+  switch (static_cast<Op>(op)) {
+    case kFetchAdd: {
+      ACE_DCHECK(r.is_home());
+      auto& cell = r.ext_as<Cell>();
+      const std::uint64_t old = cell.value;
+      cell.value += m.args[3];
+      rp_.dstats().fetches += 1;
+      rp_.send_proto(m.src, r.id(), kFetchAddReply, old);
+      return;
+    }
+    case kFetchAddReply:
+      r.op_result = m.args[3];
+      r.op_done = true;
+      return;
+  }
+  ACE_CHECK_MSG(false, "unknown Counter opcode");
+}
+
+}  // namespace ace::protocols

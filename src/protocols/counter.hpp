@@ -1,0 +1,46 @@
+// Counter protocol (§5.2, TSP: "the improved performance is due to better
+// management of accesses to a counter that is used to assign jobs to
+// processors").
+//
+// A region managed by this protocol holds a single uint64 ticket counter at
+// its home.  ACE_START_WRITE performs a *remote fetch-and-add at the home*
+// (one request/reply round trip) and deposits the pre-increment value in the
+// local copy, where the application reads it.  Compare with the SC baseline,
+// which needs Ace_Lock + read-miss + write-upgrade + Ace_UnLock — four
+// home round trips and an invalidation storm among contending processors.
+//
+// Semantics: each start_write..end_write is one atomic ticket draw; reads
+// between them see the drawn value.  Not optimizable (hoisting a draw out of
+// a loop would change how many tickets are drawn).
+#pragma once
+
+#include "ace/protocol.hpp"
+#include "ace/runtime.hpp"
+
+namespace ace::protocols {
+
+class CounterProtocol final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  static const ProtocolInfo& static_info();
+  const ProtocolInfo& info() const override { return static_info(); }
+
+  void start_write(Region& r) override;
+  void region_created(Region& r) override;
+  void init(Space& sp) override;
+  void flush(Space& sp) override;
+  void on_message(Region& r, std::uint32_t op, am::Message& m) override;
+
+  /// The live counter lives at the home in protocol state; the user-visible
+  /// buffer always holds "the ticket this processor drew last", so the home
+  /// reads its own draws the same way remotes do.
+  struct Cell : dsm::RegionExt {
+    std::uint64_t value = 0;
+  };
+
+ private:
+  enum Op : std::uint32_t { kFetchAdd, kFetchAddReply };
+};
+
+}  // namespace ace::protocols

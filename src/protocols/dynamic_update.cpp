@@ -1,0 +1,96 @@
+#include "protocols/dynamic_update.hpp"
+
+#include <algorithm>
+
+namespace ace::protocols {
+
+const ProtocolInfo& DynamicUpdate::static_info() {
+  static const ProtocolInfo info{
+      proto_names::kDynamicUpdate,
+      kHookStartRead | kHookStartWrite | kHookEndWrite | kHookBarrier |
+          kHookLock | kHookUnlock,
+      /*optimizable=*/true};
+  return info;
+}
+
+void DynamicUpdate::fetch(Region& r) {
+  rp_.dstats().read_misses += 1;
+  rp_.blocking_request(r,
+                       [&] { rp_.send_proto(r.home_proc(), r.id(), kFetch); });
+}
+
+void DynamicUpdate::start_read(Region& r) {
+  if (r.is_home()) return;
+  if (!(r.pstate & kValid)) fetch(r);
+}
+
+void DynamicUpdate::start_write(Region& r) {
+  if (r.is_home()) return;
+  if (!(r.pstate & kValid)) fetch(r);
+}
+
+void DynamicUpdate::end_write(Region& r) {
+  if (r.is_home()) {
+    auto& dir = r.ext_as<HomeDir>();
+    r.version += 1;
+    for (am::ProcId s : dir.sharers) {
+      rp_.dstats().updates += 1;
+      rp_.send_proto(s, r.id(), kPush, 0, 0, rp_.snapshot(r));
+    }
+  } else {
+    rp_.dstats().updates += 1;
+    rp_.send_proto(r.home_proc(), r.id(), kUpdate, 0, 0, rp_.snapshot(r));
+  }
+}
+
+void DynamicUpdate::barrier() {
+  // Two machine barriers: updates in flight to the home are delivered before
+  // anyone leaves the first barrier; the home's forwarded pushes are then
+  // delivered before anyone leaves the second (the flush lemma, twice).
+  rp_.proc().barrier();
+  rp_.proc().barrier();
+}
+
+void DynamicUpdate::flush(Space& sp) {
+  rp_.regions().for_each_in_space(sp.id(), [&](Region& r) {
+    if (!r.is_home()) r.pstate &= ~kValid;
+  });
+}
+
+void DynamicUpdate::on_message(Region& r, std::uint32_t op, am::Message& m) {
+  switch (static_cast<Op>(op)) {
+    case kFetch: {
+      ACE_DCHECK(r.is_home());
+      auto& dir = r.ext_as<HomeDir>();
+      if (std::find(dir.sharers.begin(), dir.sharers.end(), m.src) ==
+          dir.sharers.end())
+        dir.sharers.push_back(m.src);
+      rp_.dstats().fetches += 1;
+      rp_.send_proto(m.src, r.id(), kFetchData, 0, 0, rp_.snapshot(r));
+      return;
+    }
+    case kFetchData:
+      rp_.install_data(r, m.payload);
+      r.pstate |= kValid;
+      r.op_done = true;
+      return;
+    case kUpdate: {
+      ACE_DCHECK(r.is_home());
+      auto& dir = r.ext_as<HomeDir>();
+      rp_.install_data(r, m.payload);
+      for (am::ProcId s : dir.sharers) {
+        if (s == m.src) continue;
+        rp_.dstats().updates += 1;
+        rp_.send_proto(s, r.id(), kPush, 0, 0, m.payload);
+      }
+      return;
+    }
+    case kPush:
+      // A copy dropped by flush/ChangeProtocol ignores late pushes.
+      if (r.pstate & kValid) rp_.install_data(r, m.payload);
+      return;
+  }
+  ACE_CHECK_MSG(false, "unknown DynamicUpdate opcode");
+}
+
+}  // namespace ace::protocols

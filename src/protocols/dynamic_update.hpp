@@ -1,0 +1,54 @@
+// Dynamic update protocol (§2.1, §3.3, §5.2): writes to a region are
+// propagated to all sharers immediately after each write — the protocol that
+// *requires* full access control, because the propagation hook must run
+// *after* the write completes (the paper's §2.1 argument against access-fault
+// control).
+//
+// Mechanics: a processor becomes a sharer by fetching the region (on first
+// read or write).  At ACE_END_WRITE the writer ships the region to the home,
+// which applies it and multicasts to the other sharers; a writer that *is*
+// the home multicasts directly.  Writers do not wait for acknowledgements
+// (§6: "a writer need not acquire exclusive access before proceeding with a
+// write, as long as the result of the write is propagated to all sharers").
+//
+// Consistency contract (what the reduced state space buys): during a phase,
+// at most one processor writes a given region, and readers may observe the
+// previous value until the next Ace_Barrier on the space.  The barrier hook
+// uses two machine barriers so that every update sent before the barrier —
+// including ones still being forwarded by the home — is applied at every
+// sharer before any processor leaves the barrier (see the flush lemma in
+// RuntimeProc::change_protocol).
+#pragma once
+
+#include "ace/protocol.hpp"
+#include "ace/runtime.hpp"
+
+namespace ace::protocols {
+
+class DynamicUpdate final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  static const ProtocolInfo& static_info();
+  const ProtocolInfo& info() const override { return static_info(); }
+
+  void start_read(Region& r) override;
+  void start_write(Region& r) override;
+  void end_write(Region& r) override;
+  void barrier() override;
+  void flush(Space& sp) override;
+  void on_message(Region& r, std::uint32_t op, am::Message& m) override;
+
+  struct HomeDir : dsm::RegionExt {
+    std::vector<am::ProcId> sharers;
+  };
+
+  enum PState : std::uint32_t { kValid = 1 };
+
+ private:
+  enum Op : std::uint32_t { kFetch, kFetchData, kUpdate, kPush };
+
+  void fetch(Region& r);
+};
+
+}  // namespace ace::protocols

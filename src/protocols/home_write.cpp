@@ -1,0 +1,54 @@
+#include "protocols/home_write.hpp"
+
+namespace ace::protocols {
+
+const ProtocolInfo& HomeWrite::static_info() {
+  static const ProtocolInfo info{
+      proto_names::kHomeWrite,
+      kHookStartRead | kHookEndWrite | kHookBarrier | kHookLock | kHookUnlock,
+      /*optimizable=*/true, /*merge_rw=*/true};
+  return info;
+}
+
+void HomeWrite::start_read(Region& r) {
+  if (r.is_home() || (r.pstate & kValid)) return;
+  rp_.dstats().read_misses += 1;
+  rp_.blocking_request(r,
+                       [&] { rp_.send_proto(r.home_proc(), r.id(), kFetch); });
+}
+
+void HomeWrite::start_write(Region& r) {
+  ACE_CHECK_MSG(r.is_home(),
+                "HomeWrite: only the creating processor may write a region");
+}
+
+void HomeWrite::barrier() {
+  rp_.regions().for_each_in_space(space_id_, [&](Region& r) {
+    if (!r.is_home()) r.pstate &= ~kValid;
+  });
+  rp_.proc().barrier();
+}
+
+void HomeWrite::flush(Space& sp) {
+  rp_.regions().for_each_in_space(sp.id(), [&](Region& r) {
+    if (!r.is_home()) r.pstate &= ~kValid;
+  });
+}
+
+void HomeWrite::on_message(Region& r, std::uint32_t op, am::Message& m) {
+  switch (static_cast<Op>(op)) {
+    case kFetch:
+      ACE_DCHECK(r.is_home());
+      rp_.dstats().fetches += 1;
+      rp_.send_proto(m.src, r.id(), kFetchData, 0, 0, rp_.snapshot(r));
+      return;
+    case kFetchData:
+      rp_.install_data(r, m.payload);
+      r.pstate |= kValid;
+      r.op_done = true;
+      return;
+  }
+  ACE_CHECK_MSG(false, "unknown HomeWrite opcode");
+}
+
+}  // namespace ace::protocols

@@ -1,0 +1,42 @@
+// Home-write protocol (§5.2, BSC): "we take advantage of the fact that data
+// are written only by the processors that created them".
+//
+// Writes are asserted to come from the home and complete locally with no
+// coherence actions at all — no invalidations, no ownership transfers.
+// Remote readers fetch a snapshot on their first read of a phase; the
+// barrier hook drops remote copies so the next phase re-fetches fresh data.
+// Correctness relies on the application's phase structure (reads of a region
+// are separated from writes to it by an Ace_Barrier on the space), which is
+// exactly the property BSC's supernodal elimination order provides.
+//
+// The paper reports the win over SC as marginal for BSC: Ace's user-
+// specified granularity already gives the SC protocol bulk transfer, so this
+// protocol only removes the invalidation/recall control traffic.
+#pragma once
+
+#include "ace/protocol.hpp"
+#include "ace/runtime.hpp"
+
+namespace ace::protocols {
+
+class HomeWrite final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  static const ProtocolInfo& static_info();
+  const ProtocolInfo& info() const override { return static_info(); }
+
+  void start_read(Region& r) override;
+  void start_write(Region& r) override;
+  void end_write(Region& r) override { r.version += 1; }
+  void barrier() override;
+  void flush(Space& sp) override;
+  void on_message(Region& r, std::uint32_t op, am::Message& m) override;
+
+  enum PState : std::uint32_t { kValid = 1 };
+
+ private:
+  enum Op : std::uint32_t { kFetch, kFetchData };
+};
+
+}  // namespace ace::protocols

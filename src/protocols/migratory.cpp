@@ -1,0 +1,168 @@
+#include "protocols/migratory.hpp"
+
+namespace ace::protocols {
+
+const ProtocolInfo& Migratory::static_info() {
+  static const ProtocolInfo info{proto_names::kMigratory, kAllHooks,
+                                 /*optimizable=*/false};
+  return info;
+}
+
+void Migratory::region_created(Region& r) {
+  r.pstate |= kOwned;
+  r.ext_as<HomeDir>().owner = rp_.me();
+}
+
+void Migratory::init(Space& sp) {
+  // Ace_ChangeProtocol to Migratory: the base state has every region's data
+  // valid at its home, so the home starts as the owner.
+  rp_.regions().for_each_in_space(sp.id(), [&](Region& r) {
+    if (!r.is_home()) return;
+    r.pstate |= kOwned;
+    r.ext_as<HomeDir>().owner = rp_.me();
+  });
+}
+
+void Migratory::acquire(Region& r) {
+  while (!(r.pstate & kOwned)) {
+    if (r.is_home()) {
+      auto& dir = r.ext_as<HomeDir>();
+      r.op_done = false;
+      if (dir.busy)
+        dir.queue.push_back(rp_.me());
+      else
+        serve(r, rp_.me());
+      if (!r.op_done) rp_.proc().charge_rtt();
+      rp_.proc().wait_until([&r] { return r.op_done; });
+    } else {
+      rp_.dstats().read_misses += 1;
+      rp_.blocking_request(
+          r, [&] { rp_.send_proto(r.home_proc(), r.id(), kAcquire); });
+    }
+  }
+}
+
+void Migratory::maybe_release(Region& r) {
+  if (r.active_readers != 0 || r.active_writers != 0) return;
+  if (r.is_home()) {
+    home_release_check(r);
+    return;
+  }
+  if (r.pstate & kPendingRecall) {
+    r.pstate &= ~(kOwned | kPendingRecall);
+    rp_.send_proto(r.home_proc(), r.id(), kMigData, 0, 0, rp_.snapshot(r));
+  }
+}
+
+void Migratory::home_release_check(Region& r) {
+  auto& dir = r.ext_as<HomeDir>();
+  if (!dir.busy || !dir.waiting_local_drain) return;
+  dir.busy = false;
+  dir.waiting_local_drain = false;
+  const am::ProcId req = dir.requester;
+  dir.requester = dsm::kNoProc;
+  r.pstate &= ~kOwned;
+  grant(r, req);
+  while (!dir.busy && !dir.queue.empty()) {
+    const am::ProcId next = dir.queue.front();
+    dir.queue.pop_front();
+    serve(r, next);
+  }
+}
+
+void Migratory::serve(Region& r, am::ProcId requester) {
+  auto& dir = r.ext_as<HomeDir>();
+  ACE_DCHECK(!dir.busy);
+  ACE_CHECK_MSG(dir.owner != requester,
+                "owner re-acquiring a region it already holds");
+  if (dir.owner == rp_.me()) {
+    if (r.active_readers > 0 || r.active_writers > 0) {
+      dir.busy = true;
+      dir.waiting_local_drain = true;
+      dir.requester = requester;
+      return;
+    }
+    r.pstate &= ~kOwned;
+    grant(r, requester);
+    return;
+  }
+  dir.busy = true;
+  dir.requester = requester;
+  rp_.dstats().recalls += 1;
+  rp_.send_proto(dir.owner, r.id(), kRecall);
+}
+
+void Migratory::grant(Region& r, am::ProcId requester, bool deferred) {
+  auto& dir = r.ext_as<HomeDir>();
+  dir.owner = requester;
+  rp_.dstats().fetches += 1;
+  if (requester == rp_.me()) {
+    r.pstate |= kOwned;
+    r.op_done = true;
+  } else {
+    rp_.send_proto(requester, r.id(), kGrant, deferred ? 1 : 0, 0,
+                   rp_.snapshot(r));
+  }
+}
+
+void Migratory::on_message(Region& r, std::uint32_t op, am::Message& m) {
+  switch (static_cast<Op>(op)) {
+    case kAcquire: {
+      ACE_DCHECK(r.is_home());
+      auto& dir = r.ext_as<HomeDir>();
+      if (dir.busy)
+        dir.queue.push_back(m.src);
+      else
+        serve(r, m.src);
+      return;
+    }
+    case kRecall:
+      ACE_CHECK_MSG(r.pstate & kOwned, "recall of a region we do not own");
+      if (r.active_readers > 0 || r.active_writers > 0) {
+        r.pstate |= kPendingRecall;
+      } else {
+        r.pstate &= ~kOwned;
+        rp_.send_proto(r.home_proc(), r.id(), kMigData, 0, 0, rp_.snapshot(r));
+      }
+      return;
+    case kMigData: {
+      ACE_DCHECK(r.is_home());
+      auto& dir = r.ext_as<HomeDir>();
+      rp_.install_data(r, m.payload);
+      if (!dir.busy) {
+        // Flush path (ChangeProtocol): ownership returns home.
+        dir.owner = rp_.me();
+        r.pstate |= kOwned;
+        return;
+      }
+      dir.busy = false;
+      const am::ProcId req = dir.requester;
+      dir.requester = dsm::kNoProc;
+      grant(r, req, /*deferred=*/true);
+      while (!dir.busy && !dir.queue.empty()) {
+        const am::ProcId next = dir.queue.front();
+        dir.queue.pop_front();
+        serve(r, next);
+      }
+      return;
+    }
+    case kGrant:
+      if (m.args[3] == 1) rp_.proc().charge_rtt();  // recall round first
+      rp_.install_data(r, m.payload);
+      r.pstate |= kOwned;
+      r.op_done = true;
+      return;
+  }
+  ACE_CHECK_MSG(false, "unknown Migratory opcode");
+}
+
+void Migratory::flush(Space& sp) {
+  rp_.regions().for_each_in_space(sp.id(), [&](Region& r) {
+    if (r.is_home() || !(r.pstate & kOwned)) return;
+    rp_.dstats().flushes += 1;
+    r.pstate &= ~kOwned;
+    rp_.send_proto(r.home_proc(), r.id(), kMigData, 0, 0, rp_.snapshot(r));
+  });
+}
+
+}  // namespace ace::protocols

@@ -1,0 +1,62 @@
+// Migratory protocol: data accessed in exclusive bursts by one processor at
+// a time (§2.1 names migratory protocols as a canonical protocol-library
+// entry).  Ownership (and the data) migrates to whichever processor touches
+// the region; while a processor owns a region, all its reads and writes are
+// local.
+//
+// Mechanics: the home serializes ownership transfers.  A non-owner's first
+// access sends an acquire to the home; the home recalls the region from the
+// current owner (deferring past the owner's in-progress accesses), installs
+// the returned data, and grants data + ownership to the requester.  Four
+// messages per migration — one more than forwarding owner-to-owner directly,
+// but every transition is home-serialized, which keeps the state space the
+// size §6 advertises for custom protocols.
+#pragma once
+
+#include <deque>
+
+#include "ace/protocol.hpp"
+#include "ace/runtime.hpp"
+
+namespace ace::protocols {
+
+class Migratory final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  static const ProtocolInfo& static_info();
+  const ProtocolInfo& info() const override { return static_info(); }
+
+  void start_read(Region& r) override { acquire(r); }
+  void start_write(Region& r) override { acquire(r); }
+  void end_read(Region& r) override { maybe_release(r); }
+  void end_write(Region& r) override { maybe_release(r); }
+  void region_created(Region& r) override;
+  void init(Space& sp) override;
+  void flush(Space& sp) override;
+  void on_message(Region& r, std::uint32_t op, am::Message& m) override;
+
+  struct HomeDir : dsm::RegionExt {
+    am::ProcId owner = dsm::kNoProc;  // set to the home's own id at creation
+    bool busy = false;
+    bool waiting_local_drain = false;
+    am::ProcId requester = dsm::kNoProc;
+    std::deque<am::ProcId> queue;
+  };
+
+  enum PState : std::uint32_t {
+    kOwned = 1,          // this processor holds the (only) valid copy
+    kPendingRecall = 2,  // home wants the region back after current access
+  };
+
+ private:
+  enum Op : std::uint32_t { kAcquire, kRecall, kMigData, kGrant };
+
+  void acquire(Region& r);
+  void maybe_release(Region& r);
+  void serve(Region& r, am::ProcId requester);
+  void grant(Region& r, am::ProcId requester, bool deferred = false);
+  void home_release_check(Region& r);
+};
+
+}  // namespace ace::protocols

@@ -1,0 +1,12 @@
+#include "protocols/null_protocol.hpp"
+
+namespace ace::protocols {
+
+const ProtocolInfo& NullProtocol::static_info() {
+  static const ProtocolInfo info{proto_names::kNull,
+                                 kHookBarrier | kHookLock | kHookUnlock,
+                                 /*optimizable=*/true};
+  return info;
+}
+
+}  // namespace ace::protocols

@@ -1,0 +1,30 @@
+// The null protocol (§2.2 / §5.2, Water's intra-molecular phase): every hook
+// is empty.  Used for phases in which every processor touches only data
+// homed on itself, so no coherence actions are needed at all; switching a
+// space to Null between such phases removes all protocol overhead.
+//
+// Contract: while a space runs Null, a processor may access only regions it
+// is home for (remote cached copies are not kept coherent).  The compiler's
+// direct-call pass deletes every access-hook call for Null spaces (§4.2:
+// "if a protocol defines certain actions to be null, then calls to that
+// protocol action can be removed"), which is where EM3D's and Water's big
+// compiled-code wins come from.
+#pragma once
+
+#include "ace/protocol.hpp"
+#include "ace/runtime.hpp"
+
+namespace ace::protocols {
+
+class NullProtocol final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  static const ProtocolInfo& static_info();
+  const ProtocolInfo& info() const override { return static_info(); }
+
+  // All access hooks inherit the empty defaults; barrier/lock/unlock keep the
+  // system defaults (a null *access* protocol still needs synchronization).
+};
+
+}  // namespace ace::protocols

@@ -1,0 +1,88 @@
+#include "protocols/pipelined_write.hpp"
+
+#include <cstring>
+
+namespace ace::protocols {
+
+const ProtocolInfo& PipelinedWrite::static_info() {
+  static const ProtocolInfo info{
+      proto_names::kPipelinedWrite,
+      kHookStartRead | kHookStartWrite | kHookEndWrite | kHookBarrier |
+          kHookLock | kHookUnlock,
+      /*optimizable=*/true};
+  return info;
+}
+
+void PipelinedWrite::start_read(Region& r) {
+  if (r.is_home()) return;
+  ACE_CHECK_MSG(!(r.pstate & kAccum),
+                "PipelinedWrite: reading a region mid-accumulation");
+  if (r.pstate & kValid) return;
+  rp_.dstats().read_misses += 1;
+  rp_.blocking_request(r,
+                       [&] { rp_.send_proto(r.home_proc(), r.id(), kFetch); });
+}
+
+void PipelinedWrite::start_write(Region& r) {
+  if (r.is_home()) return;  // home accumulates straight into the master copy
+  ACE_CHECK_MSG(r.size() % sizeof(double) == 0,
+                "PipelinedWrite regions must hold doubles");
+  std::memset(r.data(), 0, r.size());
+  r.pstate = kAccum;  // scratch mode; any read-cache validity is gone
+}
+
+void PipelinedWrite::end_write(Region& r) {
+  r.version += 1;
+  if (r.is_home()) return;
+  ACE_DCHECK(r.pstate & kAccum);
+  r.pstate &= ~kAccum;
+  rp_.dstats().updates += 1;
+  rp_.send_proto(r.home_proc(), r.id(), kAdd, 0, 0, rp_.snapshot(r));
+}
+
+void PipelinedWrite::barrier() {
+  // One hop: every kAdd sent before the barrier is applied at its home
+  // before anyone leaves it.  Remote read caches are dropped so post-barrier
+  // reads fetch the folded values.
+  rp_.regions().for_each_in_space(space_id_, [&](Region& r) {
+    if (!r.is_home()) r.pstate &= ~kValid;
+  });
+  rp_.proc().barrier();
+}
+
+void PipelinedWrite::flush(Space& sp) {
+  rp_.regions().for_each_in_space(sp.id(), [&](Region& r) {
+    if (r.is_home()) return;
+    ACE_CHECK_MSG(!(r.pstate & kAccum),
+                  "ChangeProtocol mid-accumulation");
+    r.pstate &= ~kValid;
+  });
+}
+
+void PipelinedWrite::on_message(Region& r, std::uint32_t op, am::Message& m) {
+  switch (static_cast<Op>(op)) {
+    case kAdd: {
+      ACE_DCHECK(r.is_home());
+      ACE_CHECK_MSG(m.payload.size() == r.size(), "kAdd size mismatch");
+      auto* dst = reinterpret_cast<double*>(r.data());
+      const auto* src = reinterpret_cast<const double*>(m.payload.data());
+      const std::size_t n = r.size() / sizeof(double);
+      for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+      r.version += 1;
+      return;
+    }
+    case kFetch:
+      ACE_DCHECK(r.is_home());
+      rp_.dstats().fetches += 1;
+      rp_.send_proto(m.src, r.id(), kFetchData, 0, 0, rp_.snapshot(r));
+      return;
+    case kFetchData:
+      rp_.install_data(r, m.payload);
+      r.pstate |= kValid;
+      r.op_done = true;
+      return;
+  }
+  ACE_CHECK_MSG(false, "unknown PipelinedWrite opcode");
+}
+
+}  // namespace ace::protocols

@@ -1,0 +1,48 @@
+// Pipelined-write (accumulation) protocol (§5.2, Water: "we improve
+// performance by pipelining writes to a molecule during the inter-molecular
+// calculation phase").
+//
+// Regions managed by this protocol hold arrays of doubles used as
+// accumulators (force vectors).  A remote writer does not fetch or acquire
+// anything: start_write hands it a zeroed local scratch buffer; the
+// application accumulates contributions into it; end_write ships the scratch
+// to the home *without waiting* (the pipelining — writes to different
+// molecules overlap with computation), and the home folds it in with an
+// element-wise add.  The Ace_Barrier hook drops remote read caches and
+// synchronizes; the flush lemma guarantees all adds are applied at their
+// homes before any processor leaves the barrier.
+//
+// Contract: regions hold doubles (size % 8 == 0); within a phase, a region
+// is either accumulated into or read, never both (Water's force phase writes
+// forces and reads positions, which live in a different space).
+#pragma once
+
+#include "ace/protocol.hpp"
+#include "ace/runtime.hpp"
+
+namespace ace::protocols {
+
+class PipelinedWrite final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  static const ProtocolInfo& static_info();
+  const ProtocolInfo& info() const override { return static_info(); }
+
+  void start_read(Region& r) override;
+  void start_write(Region& r) override;
+  void end_write(Region& r) override;
+  void barrier() override;
+  void flush(Space& sp) override;
+  void on_message(Region& r, std::uint32_t op, am::Message& m) override;
+
+  enum PState : std::uint32_t {
+    kValid = 1,  // local buffer is a coherent read cache
+    kAccum = 2,  // local buffer is an accumulation scratch
+  };
+
+ private:
+  enum Op : std::uint32_t { kAdd, kFetch, kFetchData };
+};
+
+}  // namespace ace::protocols

@@ -1,0 +1,124 @@
+#include "protocols/race_check.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace ace::protocols {
+
+namespace {
+std::atomic<bool> g_abort_on_race{false};
+}  // namespace
+
+void RaceCheck::set_abort_on_race(bool v) { g_abort_on_race.store(v); }
+
+const ProtocolInfo& RaceCheck::static_info() {
+  // Races are order-sensitive observations: no code motion, no merging.
+  static const ProtocolInfo info{proto_names::kRaceCheck, kAllHooks,
+                                 /*optimizable=*/false};
+  return info;
+}
+
+void RaceCheck::note_race(Region& r) {
+  races_ += 1;
+  std::fprintf(stderr,
+               "RaceCheck: conflicting access to region %llx by proc %u "
+               "within one barrier epoch\n",
+               static_cast<unsigned long long>(r.id()), rp_.me());
+  if (g_abort_on_race.load())
+    ACE_CHECK_MSG(false, "data race detected (RaceCheck abort mode)");
+}
+
+bool RaceCheck::record_at_home(Region& r, am::ProcId who, bool is_write,
+                               std::uint64_t epoch) {
+  auto& hl = r.ext_as<HomeLog>();
+  if (epoch != hl.epoch) {
+    ACE_DCHECK(epoch > hl.epoch);
+    hl.log.clear();
+    hl.epoch = epoch;
+  }
+  return hl.log.record(who, is_write);
+}
+
+void RaceCheck::start_read(Region& r) {
+  if (r.is_home()) {
+    if (record_at_home(r, rp_.me(), /*is_write=*/false, epoch_)) note_race(r);
+    return;
+  }
+  // Report + fetch a fresh copy; the reply carries the conflict verdict.
+  rp_.dstats().read_misses += 1;
+  rp_.blocking_request(r, [&] {
+    rp_.send_proto(r.home_proc(), r.id(), kReadReq, epoch_);
+  });
+  if (r.op_result == 1) note_race(r);
+}
+
+void RaceCheck::start_write(Region& r) {
+  if (r.is_home()) {
+    if (record_at_home(r, rp_.me(), /*is_write=*/true, epoch_)) note_race(r);
+    return;
+  }
+  rp_.dstats().write_misses += 1;
+  rp_.blocking_request(
+      r, [&] { rp_.send_proto(r.home_proc(), r.id(), kWriteReq, epoch_); });
+  if (r.op_result == 1) note_race(r);
+}
+
+void RaceCheck::end_write(Region& r) {
+  r.version += 1;
+  if (r.is_home()) return;
+  // The after-the-write action access-fault control cannot express (§2.1):
+  // ship the completed write home.
+  rp_.dstats().updates += 1;
+  rp_.send_proto(r.home_proc(), r.id(), kWriteBack, 0, 0, rp_.snapshot(r));
+}
+
+void RaceCheck::barrier() {
+  // Advancing the epoch retires the previous logs lazily: a report from a
+  // newer epoch resets the region's log at the home (record_at_home).  No
+  // sweep is needed, and no clearing race exists even when a fast processor
+  // reports its next-epoch access while the home is still inside the
+  // barrier.
+  rp_.proc().barrier();
+  epoch_ += 1;
+}
+
+void RaceCheck::flush(Space&) {
+  // reset_protocol_state drops the HomeLog exts; nothing else to do.
+}
+
+void RaceCheck::on_message(Region& r, std::uint32_t op, am::Message& m) {
+  switch (static_cast<Op>(op)) {
+    case kReadReq: {
+      ACE_DCHECK(r.is_home());
+      const bool conflict =
+          record_at_home(r, m.src, /*is_write=*/false, m.args[3]);
+      rp_.dstats().fetches += 1;
+      rp_.send_proto(m.src, r.id(), kReadReply, conflict ? 1 : 0, 0,
+                     rp_.snapshot(r));
+      return;
+    }
+    case kReadReply:
+      rp_.install_data(r, m.payload);
+      r.op_result = m.args[3];
+      r.op_done = true;
+      return;
+    case kWriteReq: {
+      ACE_DCHECK(r.is_home());
+      const bool conflict =
+          record_at_home(r, m.src, /*is_write=*/true, m.args[3]);
+      rp_.send_proto(m.src, r.id(), kWriteAck, conflict ? 1 : 0);
+      return;
+    }
+    case kWriteAck:
+      r.op_result = m.args[3];
+      r.op_done = true;
+      return;
+    case kWriteBack:
+      ACE_DCHECK(r.is_home());
+      rp_.install_data(r, m.payload);
+      return;
+  }
+  ACE_CHECK_MSG(false, "unknown RaceCheck opcode");
+}
+
+}  // namespace ace::protocols

@@ -1,0 +1,75 @@
+// Data-race checking protocol (§2.1): "other protocols, such as the
+// data-race checking protocol proposed by Larus et al. [LCM], can be
+// executed either before or after accesses" — the example the paper uses to
+// argue for *full access control* over access-fault control: a fault-based
+// scheme cannot run anything after the access completes.
+//
+// Semantics: a debugging protocol for barrier-structured programs.  Within
+// one barrier epoch, two accesses to the same region from different
+// processors conflict if at least one is a write.  Every START_* reports the
+// access to the region's home, which logs readers/writers for the epoch
+// (blocks::EpochLog) and answers with a fresh copy (reads) or a go-ahead
+// (writes); END_WRITE writes the region back.  The barrier hook clears the
+// epoch logs.  Conflicts are counted per processor and, in abort mode, kill
+// the run at the first race.
+//
+// Built from the §6 building blocks (blocks.hpp) as the worked example of
+// composing a new protocol without touching the runtime.
+#pragma once
+
+#include "ace/protocol.hpp"
+#include "ace/runtime.hpp"
+#include "protocols/blocks.hpp"
+
+namespace ace::protocols {
+
+class RaceCheck final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  static const ProtocolInfo& static_info();
+  const ProtocolInfo& info() const override { return static_info(); }
+
+  void start_read(Region& r) override;
+  void end_read(Region& r) override {}
+  void start_write(Region& r) override;
+  void end_write(Region& r) override;
+  void barrier() override;
+  void flush(Space& sp) override;
+  void on_message(Region& r, std::uint32_t op, am::Message& m) override;
+
+  /// Races observed by this processor's accesses (cleared per instance, so
+  /// per space; survives barriers).
+  std::uint64_t races_detected() const { return races_; }
+
+  /// Abort the run on the first detected race (off by default: tests and
+  /// tools usually want the count).
+  static void set_abort_on_race(bool v);
+
+  struct HomeLog : dsm::RegionExt {
+    std::uint64_t epoch = 0;  ///< which barrier epoch `log` describes
+    blocks::EpochLog log;
+  };
+
+ private:
+  enum Op : std::uint32_t {
+    kReadReq,    // report read + fetch; args[3] = sender epoch
+    kReadReply,  // args[3] = conflict flag
+    kWriteReq,   // report write intent; args[3] = sender epoch
+    kWriteAck,   // args[3] = conflict flag
+    kWriteBack,  // end_write data
+  };
+
+  void note_race(Region& r);
+  /// Home-side: record an access against the right epoch's log.  A report
+  /// from a newer epoch lazily resets the region's log (reports arrive in
+  /// epoch order: all of epoch e is enqueued before any of e+1 — the flush
+  /// lemma plus FIFO mailboxes).
+  bool record_at_home(Region& r, am::ProcId who, bool is_write,
+                      std::uint64_t epoch);
+
+  std::uint64_t races_ = 0;
+  std::uint64_t epoch_ = 0;  ///< this processor's barrier epoch for the space
+};
+
+}  // namespace ace::protocols

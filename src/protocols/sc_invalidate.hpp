@@ -1,0 +1,103 @@
+// The default protocol (§3.1): a sequentially consistent, invalidation-based
+// home-directory protocol over regions — the general-purpose protocol the
+// custom protocols in §5.2 are measured against.  Semantically equivalent to
+// CRL's protocol (the Ace runtime system "is similar to that of CRL", §4.1).
+//
+// States:
+//   remote copy: Invalid -> Shared (read grant) -> Modified (write grant),
+//     with deferred invalidations/recalls while accesses are in progress;
+//   home: directory entry (sharer list + exclusive owner) with a busy flag
+//     and a queue serializing multi-step transitions.  Handlers never block:
+//     invalidate-then-grant and recall-then-grant are continuation-based.
+//
+// Not optimizable (§4.2): sequential consistency forbids reordering protocol
+// actions across accesses, so the compiler's code-motion passes must leave SC
+// accesses alone.
+#pragma once
+
+#include <deque>
+
+#include "ace/protocol.hpp"
+#include "ace/runtime.hpp"
+
+namespace ace::protocols {
+
+class ScInvalidate final : public Protocol {
+ public:
+  using Protocol::Protocol;
+
+  static const ProtocolInfo& static_info();
+  const ProtocolInfo& info() const override { return static_info(); }
+
+  void start_read(Region& r) override;
+  void end_read(Region& r) override;
+  void start_write(Region& r) override;
+  void end_write(Region& r) override;
+  void flush(Space& sp) override;
+  void on_message(Region& r, std::uint32_t op, am::Message& m) override;
+
+  /// Remote-copy state, kept in Region::pstate.
+  enum RState : std::uint32_t {
+    kInvalid = 0,
+    kShared = 1,
+    kModified = 2,
+    kStateMask = 3,
+    kPendingInv = 1u << 2,
+    kPendingRecallShared = 1u << 3,
+    kPendingRecallExcl = 1u << 4,
+  };
+
+  /// Home directory entry.
+  struct HomeDir : dsm::RegionExt {
+    enum class Kind : std::uint8_t {
+      kNone,
+      kRemoteRead,
+      kRemoteWrite,
+      kLocalRead,
+      kLocalWrite,
+    };
+    std::vector<am::ProcId> sharers;
+    am::ProcId owner = dsm::kNoProc;
+    bool busy = false;
+    bool waiting_local_drain = false;  ///< deferred past home's own accesses
+    std::uint32_t pending_acks = 0;
+    Kind kind = Kind::kNone;
+    am::ProcId requester = dsm::kNoProc;
+    std::deque<std::pair<Kind, am::ProcId>> queue;
+  };
+
+ private:
+  enum Op : std::uint32_t {
+    kReadReq,
+    kWriteReq,
+    kReadData,
+    kWriteData,
+    kUpgradeAck,
+    kInv,
+    kInvAck,
+    kRecallShared,
+    kRecallExcl,
+    kRecallData,
+    kFlushMsg,
+  };
+
+  static std::uint32_t rstate(const Region& r) { return r.pstate & kStateMask; }
+  static void set_rstate(Region& r, std::uint32_t s) {
+    r.pstate = (r.pstate & ~kStateMask) | s;
+  }
+
+  void home_request(Region& r, HomeDir::Kind kind);
+  void enqueue_or_serve(Region& r, HomeDir::Kind kind, am::ProcId requester);
+  /// `deferred`: the request needed a recall/invalidation round first; the
+  /// reply carries this so the requester charges the extra round trip it
+  /// actually stalled for (see Proc::charge_rtt and the poll() comment).
+  void serve(Region& r, HomeDir::Kind kind, am::ProcId requester,
+             bool deferred = false);
+  void grant_write(Region& r, am::ProcId requester, bool deferred);
+  void complete_pending(Region& r);
+  void drain_queue(Region& r);
+  void maybe_finish_deferred_remote(Region& r);
+  void maybe_finish_local_drain(Region& r);
+};
+
+}  // namespace ace::protocols

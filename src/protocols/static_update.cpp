@@ -1,0 +1,80 @@
+#include "protocols/static_update.hpp"
+
+#include <algorithm>
+
+namespace ace::protocols {
+
+const ProtocolInfo& StaticUpdate::static_info() {
+  static const ProtocolInfo info{
+      proto_names::kStaticUpdate,
+      kHookStartRead | kHookEndWrite | kHookBarrier | kHookLock | kHookUnlock,
+      /*optimizable=*/true, /*merge_rw=*/true};
+  return info;
+}
+
+void StaticUpdate::start_read(Region& r) {
+  if (r.is_home() || (r.pstate & kValid)) return;
+  rp_.dstats().read_misses += 1;
+  rp_.blocking_request(r,
+                       [&] { rp_.send_proto(r.home_proc(), r.id(), kFetch); });
+}
+
+void StaticUpdate::start_write(Region& r) {
+  ACE_CHECK_MSG(r.is_home(),
+                "StaticUpdate requires owner-computes: only the home writes");
+}
+
+void StaticUpdate::end_write(Region& r) {
+  r.ext_as<HomeDir>().dirty = true;
+  r.version += 1;
+}
+
+void StaticUpdate::barrier() {
+  // Push every region written since the last barrier to its recorded
+  // sharers, then synchronize.  One hop before the barrier, so the flush
+  // lemma guarantees every sharer applies the push before leaving it.
+  rp_.regions().for_each_in_space(space_id_, [&](Region& r) {
+    if (!r.is_home() || !r.ext) return;
+    auto& dir = r.ext_as<HomeDir>();
+    if (!dir.dirty) return;
+    dir.dirty = false;
+    for (am::ProcId s : dir.sharers) {
+      rp_.dstats().updates += 1;
+      rp_.send_proto(s, r.id(), kPush, 0, 0, rp_.snapshot(r));
+    }
+  });
+  rp_.proc().barrier();
+}
+
+void StaticUpdate::flush(Space& sp) {
+  rp_.regions().for_each_in_space(sp.id(), [&](Region& r) {
+    if (!r.is_home()) r.pstate &= ~kValid;
+  });
+}
+
+void StaticUpdate::on_message(Region& r, std::uint32_t op, am::Message& m) {
+  switch (static_cast<Op>(op)) {
+    case kFetch: {
+      ACE_DCHECK(r.is_home());
+      auto& dir = r.ext_as<HomeDir>();
+      if (std::find(dir.sharers.begin(), dir.sharers.end(), m.src) ==
+          dir.sharers.end())
+        dir.sharers.push_back(m.src);
+      rp_.dstats().fetches += 1;
+      rp_.send_proto(m.src, r.id(), kFetchData, 0, 0, rp_.snapshot(r));
+      return;
+    }
+    case kFetchData:
+      rp_.install_data(r, m.payload);
+      r.pstate |= kValid;
+      r.op_done = true;
+      return;
+    case kPush:
+      rp_.install_data(r, m.payload);
+      r.pstate |= kValid;
+      return;
+  }
+  ACE_CHECK_MSG(false, "unknown StaticUpdate opcode");
+}
+
+}  // namespace ace::protocols

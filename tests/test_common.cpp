@@ -1,0 +1,91 @@
+// Unit tests for the common utilities (RNG determinism/distribution, table
+// rendering, padded alignment).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/align.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  ace::Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  ace::Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  ace::Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  ace::Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(8));
+  EXPECT_EQ(seen.size(), 8u);  // all residues hit in 1000 draws w.h.p.
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  ace::Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleRange) {
+  ace::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    const double d = rng.next_double(-2.5, 7.5);
+    EXPECT_GE(d, -2.5);
+    EXPECT_LT(d, 7.5);
+  }
+}
+
+TEST(Padded, ElementsOnDistinctCacheLines) {
+  ace::Padded<int> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&arr[i].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1].value);
+    EXPECT_GE(b - a, ace::kCacheLine);
+  }
+}
+
+TEST(Table, RendersAlignedColumns) {
+  ace::Table t({"app", "time"});
+  t.add_row({"em3d", "1.25"});
+  t.add_row({"barnes-hut", "6.03"});
+  // Render to a temp file and check shape.
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  t.print(f);
+  std::rewind(f);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);
+  EXPECT_NE(std::string(buf).find("app"), std::string::npos);
+  ASSERT_NE(std::fgets(buf, sizeof buf, f), nullptr);  // separator
+  EXPECT_EQ(buf[0], '|');
+  std::fclose(f);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(ace::fmt_f(1.2345, 2), "1.23");
+  EXPECT_EQ(ace::fmt_f(2.0, 1), "2.0");
+  EXPECT_EQ(ace::fmt_i(-42), "-42");
+}
+
+}  // namespace

@@ -1,0 +1,157 @@
+// Tests for the system configuration file (§3.2 Figure 1): parsing, error
+// handling, round-tripping, and consistency with the built-in registry.
+
+#include <gtest/gtest.h>
+
+#include "ace/config.hpp"
+#include "ace/registry.hpp"
+
+namespace {
+
+using namespace ace;
+
+TEST(Config, ParsesMinimalProtocol) {
+  ConfigError err;
+  const auto infos = parse_config(
+      "protocol Update { start_read yes; end_write yes; optimizable yes; }",
+      &err);
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].name, "Update");
+  EXPECT_TRUE(infos[0].optimizable);
+  EXPECT_EQ(infos[0].hooks, kHookStartRead | kHookEndWrite);
+}
+
+TEST(Config, NoMeansHookAbsent) {
+  ConfigError err;
+  const auto infos = parse_config(
+      "protocol P { start_read no; barrier yes; optimizable no; }", &err);
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].hooks, kHookBarrier);
+  EXPECT_FALSE(infos[0].optimizable);
+}
+
+TEST(Config, CommentsAndWhitespace) {
+  ConfigError err;
+  const auto infos = parse_config(
+      "# leading comment\nprotocol   X\n{\n  lock yes; # trailing\n}\n", &err);
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].hooks, kHookLock);
+}
+
+TEST(Config, MultipleProtocols) {
+  ConfigError err;
+  const auto infos = parse_config(
+      "protocol A { barrier yes; } protocol B { lock yes; }", &err);
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].name, "A");
+  EXPECT_EQ(infos[1].name, "B");
+}
+
+TEST(Config, UnknownKeyIsError) {
+  ConfigError err;
+  const auto infos =
+      parse_config("protocol P { start_reed yes; }", &err);
+  EXPECT_TRUE(infos.empty());
+  EXPECT_NE(err.message.find("unknown key"), std::string::npos);
+}
+
+TEST(Config, MissingSemicolonIsError) {
+  ConfigError err;
+  EXPECT_TRUE(parse_config("protocol P { barrier yes }", &err).empty());
+}
+
+TEST(Config, BadBooleanIsError) {
+  ConfigError err;
+  EXPECT_TRUE(parse_config("protocol P { barrier maybe; }", &err).empty());
+  EXPECT_NE(err.message.find("yes/no"), std::string::npos);
+}
+
+TEST(Config, DuplicateProtocolIsError) {
+  ConfigError err;
+  EXPECT_TRUE(
+      parse_config("protocol P { } protocol P { }", &err).empty());
+  EXPECT_NE(err.message.find("duplicate"), std::string::npos);
+}
+
+TEST(Config, UnterminatedBlockIsError) {
+  ConfigError err;
+  EXPECT_TRUE(parse_config("protocol P { barrier yes;", &err).empty());
+}
+
+TEST(Config, ErrorReportsLineNumber) {
+  ConfigError err;
+  parse_config("protocol P {\n\n  bogus yes;\n}", &err);
+  EXPECT_EQ(err.line, 3);
+}
+
+TEST(Config, MergeRwKeyParses) {
+  ConfigError err;
+  const auto infos = parse_config(
+      "protocol P { start_read yes; optimizable yes; merge_rw yes; }", &err);
+  ASSERT_EQ(infos.size(), 1u) << err.message;
+  EXPECT_TRUE(infos[0].merge_rw);
+}
+
+TEST(Config, MergeRwDefaultsToNo) {
+  ConfigError err;
+  const auto infos = parse_config("protocol P { start_read yes; }", &err);
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_FALSE(infos[0].merge_rw);
+}
+
+TEST(Config, BuiltinsMergeRwFlags) {
+  const Registry reg = Registry::with_builtins();
+  EXPECT_TRUE(reg.info(proto_names::kHomeWrite).merge_rw);
+  EXPECT_TRUE(reg.info(proto_names::kStaticUpdate).merge_rw);
+  EXPECT_FALSE(reg.info(proto_names::kPipelinedWrite).merge_rw);
+  EXPECT_FALSE(reg.info(proto_names::kSC).merge_rw);
+}
+
+TEST(Config, DefaultConfigParses) {
+  ConfigError err;
+  const auto infos = parse_config(default_config_text(), &err);
+  EXPECT_EQ(infos.size(), 9u) << err.message;
+}
+
+TEST(Config, DefaultConfigMatchesRegistry) {
+  ConfigError err;
+  const auto infos = parse_config(default_config_text(), &err);
+  const Registry reg = Registry::with_builtins();
+  ASSERT_FALSE(infos.empty());
+  for (const auto& info : infos) {
+    ASSERT_TRUE(reg.contains(info.name)) << info.name;
+    EXPECT_EQ(reg.info(info.name).hooks, info.hooks) << info.name;
+    EXPECT_EQ(reg.info(info.name).optimizable, info.optimizable) << info.name;
+  }
+  EXPECT_EQ(reg.names().size(), infos.size());
+}
+
+TEST(Config, RenderRoundTrips) {
+  ConfigError err;
+  const auto infos = parse_config(default_config_text(), &err);
+  const auto text = render_config(infos);
+  const auto again = parse_config(text, &err);
+  ASSERT_EQ(again.size(), infos.size()) << err.message;
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_EQ(again[i].name, infos[i].name);
+    EXPECT_EQ(again[i].hooks, infos[i].hooks);
+    EXPECT_EQ(again[i].optimizable, infos[i].optimizable);
+  }
+}
+
+TEST(Registry, CreateProducesMatchingInfo) {
+  // Creating protocol instances requires a RuntimeProc; covered in
+  // test_runtime.  Here: registry metadata only.
+  const Registry reg = Registry::with_builtins();
+  EXPECT_FALSE(reg.info(proto_names::kSC).optimizable);
+  EXPECT_TRUE(reg.info(proto_names::kNull).optimizable);
+  EXPECT_FALSE(reg.contains("NoSuchProtocol"));
+}
+
+TEST(Registry, SCHasAllHooksNullHasNoAccessHooks) {
+  const Registry reg = Registry::with_builtins();
+  EXPECT_EQ(reg.info(proto_names::kSC).hooks, kAllHooks);
+  EXPECT_EQ(reg.info(proto_names::kNull).hooks & (kHookStartRead | kHookEndRead | kHookStartWrite | kHookEndWrite), 0u);
+}
+
+}  // namespace

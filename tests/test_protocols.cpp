@@ -1,0 +1,532 @@
+// Tests for the custom protocol library: each protocol's state machine,
+// its consistency contract at barriers, and ChangeProtocol transitions
+// into/out of it.
+
+#include <gtest/gtest.h>
+
+#include "ace/runtime.hpp"
+#include "ace/typed.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace ace;
+
+struct Fixture {
+  am::Machine machine;
+  Runtime rt;
+  explicit Fixture(std::uint32_t procs) : machine(procs), rt(machine) {}
+};
+
+RegionId shared_region(RuntimeProc& rp, SpaceId sp, std::uint32_t size,
+                       am::ProcId home) {
+  RegionId id = dsm::kInvalidRegion;
+  if (rp.me() == home) id = rp.gmalloc(sp, size);
+  return rp.bcast_region(id, home);
+}
+
+// --- DynamicUpdate ----------------------------------------------------------
+
+TEST(DynamicUpdate, UpdatePropagatedToSharersByBarrier) {
+  constexpr int kProcs = 4;
+  Fixture f(kProcs);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kDynamicUpdate);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    // Everyone becomes a sharer.
+    rp.start_read(p);
+    rp.end_read(p);
+    rp.ace_barrier(sp);
+    if (rp.me() == 2) {  // a *remote* writer
+      rp.start_write(p);
+      *p = 88;
+      rp.end_write(p);
+    }
+    rp.ace_barrier(sp);
+    rp.start_read(p);
+    EXPECT_EQ(*p, 88u);  // local copy was updated in place, no miss
+    rp.end_read(p);
+    rp.ace_barrier(sp);
+  });
+  // After the initial fetches, no further read misses occurred.
+  EXPECT_EQ(f.rt.aggregate_dstats().read_misses, 3u);
+  EXPECT_EQ(f.rt.aggregate_dstats().invalidations, 0u);
+}
+
+TEST(DynamicUpdate, HomeWriterPushesDirectly) {
+  Fixture f(3);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kDynamicUpdate);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    rp.start_read(p);
+    rp.end_read(p);
+    rp.ace_barrier(sp);
+    if (rp.me() == 0) {
+      rp.start_write(p);
+      *p = 17;
+      rp.end_write(p);
+    }
+    rp.ace_barrier(sp);
+    rp.start_read(p);
+    EXPECT_EQ(*p, 17u);
+    rp.end_read(p);
+    rp.ace_barrier(sp);
+  });
+}
+
+TEST(DynamicUpdate, RepeatedPhases) {
+  Fixture f(4);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kDynamicUpdate);
+    const RegionId id = shared_region(rp, sp, 8, 1);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    rp.start_read(p);
+    rp.end_read(p);
+    rp.ace_barrier(sp);
+    for (std::uint64_t round = 1; round <= 10; ++round) {
+      const am::ProcId writer = round % 4;
+      if (rp.me() == writer) {
+        rp.start_write(p);
+        *p = round;
+        rp.end_write(p);
+      }
+      rp.ace_barrier(sp);
+      rp.start_read(p);
+      EXPECT_EQ(*p, round);
+      rp.end_read(p);
+      rp.ace_barrier(sp);
+    }
+  });
+}
+
+// --- StaticUpdate -----------------------------------------------------------
+
+TEST(StaticUpdate, LearnsSharersThenPushes) {
+  constexpr int kProcs = 4;
+  Fixture f(kProcs);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kStaticUpdate);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    for (std::uint64_t it = 1; it <= 5; ++it) {
+      if (rp.me() == 0) {  // owner computes
+        rp.start_write(p);
+        *p = it * 10;
+        rp.end_write(p);
+      }
+      rp.ace_barrier(sp);
+      rp.start_read(p);
+      EXPECT_EQ(*p, it * 10);
+      rp.end_read(p);
+      rp.ace_barrier(sp);
+    }
+  });
+  const DsmStats s = f.rt.aggregate_dstats();
+  // Iteration 1: remote readers fetch... but the owner wrote *before* the
+  // first barrier, so the first barrier already pushed to zero sharers and
+  // the 3 remotes fetched on their first read.  After that: pushes only.
+  EXPECT_EQ(s.read_misses, 3u);
+  EXPECT_GE(s.updates, 3u * 4u);  // 3 sharers x writes in iterations 2..5
+  EXPECT_EQ(s.invalidations, 0u);
+}
+
+TEST(StaticUpdate, SteadyStateHasNoRequests) {
+  Fixture f(2);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kStaticUpdate);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    // Learning iteration.
+    if (rp.me() == 0) {
+      rp.start_write(p);
+      *p = 1;
+      rp.end_write(p);
+    }
+    rp.ace_barrier(sp);
+    rp.start_read(p);
+    rp.end_read(p);
+    rp.ace_barrier(sp);
+    const std::uint64_t misses_before = rp.dstats().read_misses;
+    // Steady state: 20 iterations with zero read misses anywhere.
+    for (std::uint64_t it = 0; it < 20; ++it) {
+      if (rp.me() == 0) {
+        rp.start_write(p);
+        *p = it;
+        rp.end_write(p);
+      }
+      rp.ace_barrier(sp);
+      rp.start_read(p);
+      EXPECT_EQ(*p, it);
+      rp.end_read(p);
+      rp.ace_barrier(sp);
+    }
+    EXPECT_EQ(rp.dstats().read_misses, misses_before);
+  });
+}
+
+TEST(StaticUpdateDeath, RemoteWriteAborts) {
+  Fixture f(2);
+  EXPECT_DEATH(f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kStaticUpdate);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    if (rp.me() == 1) rp.start_write(p);
+    rp.ace_barrier(sp);
+  }),
+               "owner-computes");
+}
+
+// --- Migratory ---------------------------------------------------------------
+
+TEST(Migratory, OwnershipFollowsAccess) {
+  constexpr int kProcs = 4;
+  Fixture f(kProcs);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kMigratory);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    for (std::uint32_t turn = 0; turn < kProcs; ++turn) {
+      if (rp.me() == turn) {
+        rp.start_write(p);
+        *p += 100;
+        rp.end_write(p);
+      }
+      rp.proc().barrier();
+    }
+    if (rp.me() == 0) {
+      rp.start_read(p);
+      EXPECT_EQ(*p, 400u);
+      rp.end_read(p);
+    }
+    rp.proc().barrier();
+  });
+}
+
+TEST(Migratory, ReadsAlsoMigrate) {
+  Fixture f(2);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kMigratory);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    if (rp.me() == 0) {
+      rp.start_write(p);
+      *p = 66;
+      rp.end_write(p);
+    }
+    rp.proc().barrier();
+    if (rp.me() == 1) {
+      rp.start_read(p);
+      EXPECT_EQ(*p, 66u);
+      rp.end_read(p);
+      // Ownership is now here: an immediate write needs no messages.
+      const auto misses = rp.dstats().write_misses;
+      rp.start_write(p);
+      *p = 67;
+      rp.end_write(p);
+      EXPECT_EQ(rp.dstats().write_misses, misses);
+    }
+    rp.proc().barrier();
+  });
+}
+
+TEST(Migratory, ContendedMigrationCountsStaySane) {
+  constexpr int kProcs = 4;
+  constexpr int kIters = 30;
+  Fixture f(kProcs);
+  f.rt.run([&](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kMigratory);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    for (int i = 0; i < kIters; ++i) {
+      rp.start_write(p);
+      *p += 1;
+      rp.end_write(p);
+    }
+    rp.proc().barrier();
+    if (rp.me() == 0) {
+      rp.start_read(p);
+      EXPECT_EQ(*p, std::uint64_t(kProcs) * kIters);
+      rp.end_read(p);
+    }
+    rp.proc().barrier();
+  });
+}
+
+// --- HomeWrite ----------------------------------------------------------------
+
+TEST(HomeWrite, PhasedProducerConsumer) {
+  Fixture f(3);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kHomeWrite);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    for (std::uint64_t phase = 1; phase <= 5; ++phase) {
+      if (rp.me() == 0) {
+        rp.start_write(p);
+        *p = phase;
+        rp.end_write(p);
+      }
+      rp.ace_barrier(sp);  // drops remote caches
+      rp.start_read(p);
+      EXPECT_EQ(*p, phase);
+      rp.end_read(p);
+      rp.ace_barrier(sp);
+    }
+  });
+  // No invalidations or recalls ever.
+  const DsmStats s = f.rt.aggregate_dstats();
+  EXPECT_EQ(s.invalidations, 0u);
+  EXPECT_EQ(s.recalls, 0u);
+  // Readers refetch each phase: 2 remotes x 5 phases.
+  EXPECT_EQ(s.read_misses, 10u);
+}
+
+TEST(HomeWriteDeath, RemoteWriteAborts) {
+  Fixture f(2);
+  EXPECT_DEATH(f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kHomeWrite);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    if (rp.me() == 1) rp.start_write(p);
+    rp.ace_barrier(sp);
+  }),
+               "only the creating processor");
+}
+
+// --- PipelinedWrite -------------------------------------------------------------
+
+TEST(PipelinedWrite, RemoteContributionsAccumulateAtHome) {
+  constexpr int kProcs = 4;
+  Fixture f(kProcs);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kPipelinedWrite);
+    const RegionId id = shared_region(rp, sp, 4 * sizeof(double), 0);
+    auto* p = static_cast<double*>(rp.map(id));
+    // Every proc (home included) adds its contribution.
+    rp.start_write(p);
+    for (int i = 0; i < 4; ++i) p[i] += (rp.me() + 1) * (i + 1);
+    rp.end_write(p);
+    rp.ace_barrier(sp);
+    rp.start_read(p);
+    // sum over procs of (me+1) = 1+2+3+4 = 10, times (i+1)
+    for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(p[i], 10.0 * (i + 1));
+    rp.end_read(p);
+    rp.ace_barrier(sp);
+  });
+}
+
+TEST(PipelinedWrite, ManyRegionsPipelinedWithoutWaiting) {
+  constexpr int kProcs = 3;
+  constexpr int kRegions = 16;
+  Fixture f(kProcs);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kPipelinedWrite);
+    std::vector<RegionId> ids(kRegions);
+    for (int r = 0; r < kRegions; ++r)
+      ids[r] = shared_region(rp, sp, sizeof(double),
+                             static_cast<am::ProcId>(r % kProcs));
+    std::vector<double*> ptr(kRegions);
+    for (int r = 0; r < kRegions; ++r)
+      ptr[r] = static_cast<double*>(rp.map(ids[r]));
+    for (int r = 0; r < kRegions; ++r) {
+      rp.start_write(ptr[r]);
+      *ptr[r] += 1.0;
+      rp.end_write(ptr[r]);  // non-blocking send to home
+    }
+    rp.ace_barrier(sp);
+    for (int r = 0; r < kRegions; ++r) {
+      rp.start_read(ptr[r]);
+      EXPECT_DOUBLE_EQ(*ptr[r], double(kProcs));
+      rp.end_read(ptr[r]);
+    }
+    rp.ace_barrier(sp);
+  });
+}
+
+// --- Counter ----------------------------------------------------------------------
+
+TEST(Counter, TicketsAreUniqueAndDense) {
+  constexpr int kProcs = 4;
+  constexpr int kDraws = 25;
+  Fixture f(kProcs);
+  std::vector<std::vector<std::uint64_t>> tickets(kProcs);
+  f.rt.run([&](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kCounter);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    for (int i = 0; i < kDraws; ++i) {
+      rp.start_write(p);  // atomic fetch-and-add at the home
+      tickets[rp.me()].push_back(*p);
+      rp.end_write(p);
+    }
+    rp.proc().barrier();
+  });
+  std::vector<std::uint64_t> all;
+  for (const auto& t : tickets) all.insert(all.end(), t.begin(), t.end());
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), std::size_t(kProcs) * kDraws);
+  for (std::size_t i = 0; i < all.size(); ++i)
+    EXPECT_EQ(all[i], i);  // dense 0..N-1: unique, no gaps, no duplicates
+}
+
+TEST(Counter, HomeDrawsInterleaveWithRemote) {
+  Fixture f(2);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kCounter);
+    const RegionId id = shared_region(rp, sp, 8, 1);  // home = proc 1
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    std::uint64_t local_max = 0;
+    for (int i = 0; i < 50; ++i) {
+      rp.start_write(p);
+      local_max = std::max(local_max, *p);
+      rp.end_write(p);
+    }
+    rp.proc().barrier();
+    EXPECT_LT(local_max, 100u);
+  });
+}
+
+TEST(Counter, ChangeProtocolPreservesValue) {
+  Fixture f(2);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kCounter);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    if (rp.me() == 0)
+      for (int i = 0; i < 5; ++i) {
+        rp.start_write(p);
+        rp.end_write(p);
+      }
+    rp.proc().barrier();
+    rp.change_protocol(sp, proto_names::kSC);
+    if (rp.me() == 1) {
+      rp.start_read(p);
+      EXPECT_EQ(*p, 5u);  // the live counter value materialized at home
+      rp.end_read(p);
+    }
+    rp.proc().barrier();
+    rp.change_protocol(sp, proto_names::kCounter);
+    if (rp.me() == 1) {
+      rp.start_write(p);
+      EXPECT_EQ(*p, 5u);  // next ticket continues from the preserved value
+      rp.end_write(p);
+    }
+    rp.proc().barrier();
+  });
+}
+
+// --- Null + phase switching (the Water pattern, §2.2) -------------------------
+
+TEST(NullProtocol, LocalPhasesAreFree) {
+  Fixture f(4);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kNull);
+    const RegionId mine = rp.gmalloc(sp, 8);  // every proc its own region
+    auto* p = static_cast<std::uint64_t*>(rp.map(mine));
+    const auto msgs_before = rp.proc().stats().msgs_sent;
+    for (int i = 0; i < 100; ++i) {
+      rp.start_write(p);
+      *p += 1;
+      rp.end_write(p);
+      rp.start_read(p);
+      rp.end_read(p);
+    }
+    // Not a single protocol message for 400 operations.
+    EXPECT_EQ(rp.proc().stats().msgs_sent, msgs_before);
+    rp.ace_barrier(sp);
+    EXPECT_EQ(*p, 100u);
+  });
+}
+
+TEST(PhaseSwitch, WaterPatternNullThenUpdate) {
+  // §2.2: alternate a null protocol for the intra-processor phase with an
+  // update protocol for the inter-processor phase.
+  constexpr int kProcs = 4;
+  Fixture f(kProcs);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kSC);
+    std::vector<RegionId> ids(kProcs);
+    for (int q = 0; q < kProcs; ++q)
+      ids[q] = shared_region(rp, sp, 8, static_cast<am::ProcId>(q));
+    auto* mine = static_cast<std::uint64_t*>(rp.map(ids[rp.me()]));
+
+    for (std::uint64_t step = 1; step <= 3; ++step) {
+      // Intra phase: own data only, under Null.
+      rp.change_protocol(sp, proto_names::kNull);
+      rp.start_write(mine);
+      *mine = rp.me() * 1000 + step;
+      rp.end_write(mine);
+      // Inter phase: everyone reads everyone, under DynamicUpdate.
+      rp.change_protocol(sp, proto_names::kDynamicUpdate);
+      std::uint64_t sum = 0;
+      for (int q = 0; q < kProcs; ++q) {
+        auto* p = static_cast<std::uint64_t*>(rp.map(ids[q]));
+        rp.start_read(p);
+        sum += *p;
+        rp.end_read(p);
+      }
+      EXPECT_EQ(sum, (0 + 1000 + 2000 + 3000) + 4 * step);
+      rp.ace_barrier(sp);
+      rp.change_protocol(sp, proto_names::kSC);
+    }
+  });
+}
+
+// --- Parameterized cross-protocol sweep: barrier-phased single-writer -------
+
+struct SweepParams {
+  const char* protocol;
+  std::uint32_t procs;
+  std::uint32_t rounds;
+};
+
+class ProtocolSweep : public ::testing::TestWithParam<SweepParams> {};
+
+// Any of these protocols must give barrier-separated producer/consumer
+// visibility when the producer is the home.
+TEST_P(ProtocolSweep, HomeProducerBarrierConsumers) {
+  const auto prm = GetParam();
+  Fixture f(prm.procs);
+  f.rt.run([&](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(prm.protocol);
+    const RegionId id = shared_region(rp, sp, 8, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    // Prime sharer lists where the protocol needs them.
+    rp.start_read(p);
+    rp.end_read(p);
+    rp.ace_barrier(sp);
+    for (std::uint64_t round = 1; round <= prm.rounds; ++round) {
+      if (rp.me() == 0) {
+        rp.start_write(p);
+        *p = round;
+        rp.end_write(p);
+      }
+      rp.ace_barrier(sp);
+      rp.start_read(p);
+      EXPECT_EQ(*p, round);
+      rp.end_read(p);
+      rp.ace_barrier(sp);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCoherentProtocols, ProtocolSweep,
+    ::testing::Values(SweepParams{proto_names::kSC, 4, 10},
+                      SweepParams{proto_names::kSC, 8, 5},
+                      SweepParams{proto_names::kDynamicUpdate, 4, 10},
+                      SweepParams{proto_names::kDynamicUpdate, 8, 5},
+                      SweepParams{proto_names::kStaticUpdate, 4, 10},
+                      SweepParams{proto_names::kStaticUpdate, 8, 5},
+                      SweepParams{proto_names::kHomeWrite, 4, 10},
+                      SweepParams{proto_names::kHomeWrite, 8, 5},
+                      SweepParams{proto_names::kMigratory, 4, 10}),
+    [](const auto& info) {
+      return std::string(info.param.protocol) + "_p" +
+             std::to_string(info.param.procs) + "_r" +
+             std::to_string(info.param.rounds);
+    });
+
+}  // namespace

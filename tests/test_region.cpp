@@ -1,0 +1,146 @@
+// Tests for the region substrate: id encoding, region sets, the
+// pointer->region back-pointer trick, and protocol extension state.
+
+#include <gtest/gtest.h>
+
+#include "dsm/region.hpp"
+
+namespace {
+
+using namespace ace::dsm;
+
+TEST(RegionId, EncodesHomeAndSequence) {
+  const RegionId id = make_region_id(/*home=*/7, /*seq=*/12345);
+  EXPECT_EQ(region_home(id), 7u);
+  EXPECT_NE(id, kInvalidRegion);
+}
+
+TEST(RegionId, DistinctForDistinctInputs) {
+  EXPECT_NE(make_region_id(0, 1), make_region_id(1, 1));
+  EXPECT_NE(make_region_id(0, 1), make_region_id(0, 2));
+}
+
+TEST(Region, DataPointerRoundTrip) {
+  Region r(make_region_id(0, 1), /*is_home=*/true);
+  r.set_meta(128, 0);
+  void* p = r.data();
+  EXPECT_EQ(Region::from_data(p), &r);
+}
+
+TEST(Region, DataIsZeroInitialized) {
+  Region r(make_region_id(0, 1), true);
+  r.set_meta(64, 0);
+  const std::byte* p = r.data();
+  for (int i = 0; i < 64; ++i) EXPECT_EQ(p[i], std::byte{0});
+}
+
+TEST(Region, DataIsAlignedForDoubles) {
+  Region r(make_region_id(0, 1), true);
+  r.set_meta(40, 0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(r.data()) % 16, 0u);
+}
+
+TEST(Region, MetaValidTransitions) {
+  Region r(make_region_id(3, 9), /*is_home=*/false);
+  EXPECT_FALSE(r.meta_valid());
+  r.set_meta(32, 2);
+  EXPECT_TRUE(r.meta_valid());
+  EXPECT_EQ(r.size(), 32u);
+  EXPECT_EQ(r.space(), 2u);
+}
+
+struct TestExt : RegionExt {
+  int counter = 0;
+};
+
+TEST(Region, ExtensionCreatedOnDemandAndTyped) {
+  Region r(make_region_id(0, 1), true);
+  auto& e = r.ext_as<TestExt>();
+  e.counter = 5;
+  EXPECT_EQ(r.ext_as<TestExt>().counter, 5);
+}
+
+TEST(Region, ResetProtocolStateDropsExtAndPstate) {
+  Region r(make_region_id(0, 1), true);
+  r.pstate = 7;
+  r.ext_as<TestExt>().counter = 1;
+  r.reset_protocol_state();
+  EXPECT_EQ(r.pstate, 0u);
+  EXPECT_EQ(r.ext, nullptr);
+}
+
+TEST(RegionSet, CreateAndFindHome) {
+  RegionSet set;
+  Region& r = set.create_home(make_region_id(0, 1), 16, 0);
+  EXPECT_EQ(set.find(r.id()), &r);
+  EXPECT_TRUE(r.is_home());
+}
+
+TEST(RegionSet, FindUnknownReturnsNull) {
+  RegionSet set;
+  EXPECT_EQ(set.find(make_region_id(0, 99)), nullptr);
+}
+
+TEST(RegionSet, ManyRegionsSurviveRehash) {
+  RegionSet set;
+  std::vector<RegionId> ids;
+  for (std::uint64_t i = 1; i <= 500; ++i) {
+    ids.push_back(make_region_id(static_cast<ace::am::ProcId>(i % 4), i));
+    set.create_home(ids.back(), 8, 0);
+  }
+  for (auto id : ids) {
+    ASSERT_NE(set.find(id), nullptr);
+    EXPECT_EQ(set.find(id)->id(), id);
+  }
+  EXPECT_EQ(set.count(), 500u);
+}
+
+TEST(RegionSet, ForEachInSpaceFilters) {
+  RegionSet set;
+  set.create_home(make_region_id(0, 1), 8, /*space=*/1);
+  set.create_home(make_region_id(0, 2), 8, /*space=*/2);
+  set.create_home(make_region_id(0, 3), 8, /*space=*/1);
+  int n = 0;
+  set.for_each_in_space(1, [&](Region& r) {
+    EXPECT_EQ(r.space(), 1u);
+    ++n;
+  });
+  EXPECT_EQ(n, 2);
+}
+
+TEST(RegionSet, RemotePlaceholderThenMeta) {
+  RegionSet set;
+  Region& r = set.create_remote(make_region_id(5, 1));
+  EXPECT_FALSE(r.is_home());
+  EXPECT_FALSE(r.meta_valid());
+  r.set_meta(24, 3);
+  int n = 0;
+  set.for_each_in_space(3, [&](Region&) { ++n; });
+  EXPECT_EQ(n, 1);
+}
+
+TEST(RegionSet, LockStateOnDemand) {
+  RegionSet set;
+  Region& r = set.create_home(make_region_id(0, 1), 8, 0);
+  EXPECT_EQ(r.lock, nullptr);
+  LockState& ls = r.lock_state();
+  EXPECT_FALSE(ls.held);
+  EXPECT_EQ(&r.lock_state(), &ls);
+}
+
+using RegionDeathTest = RegionSet;
+
+TEST(RegionSetDeath, DuplicateHomeIdAborts) {
+  RegionSet set;
+  set.create_home(make_region_id(0, 1), 8, 0);
+  EXPECT_DEATH(set.create_home(make_region_id(0, 1), 8, 0), "duplicate");
+}
+
+TEST(RegionSetDeath, ConflictingMetaAborts) {
+  RegionSet set;
+  Region& r = set.create_remote(make_region_id(2, 1));
+  r.set_meta(16, 1);
+  EXPECT_DEATH(r.set_meta(32, 1), "conflicting");
+}
+
+}  // namespace

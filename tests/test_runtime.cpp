@@ -1,0 +1,307 @@
+// Tests for the Ace runtime: spaces, allocation, mapping, the annotation
+// primitives, system locks, collectives, the typed layer, and
+// Ace_ChangeProtocol mechanics.
+
+#include <gtest/gtest.h>
+
+#include "ace/runtime.hpp"
+#include "ace/typed.hpp"
+
+namespace {
+
+using namespace ace;
+
+struct Fixture {
+  am::Machine machine;
+  Runtime rt;
+  explicit Fixture(std::uint32_t procs) : machine(procs), rt(machine) {}
+};
+
+TEST(Runtime, DefaultSpaceExistsWithSC) {
+  Fixture f(2);
+  f.rt.run([](RuntimeProc& rp) {
+    EXPECT_EQ(rp.space(kDefaultSpace).protocol_name(), proto_names::kSC);
+  });
+}
+
+TEST(Runtime, NewSpaceIdsAgreeAcrossProcs) {
+  Fixture f(4);
+  std::vector<SpaceId> ids(4);
+  f.rt.run([&](RuntimeProc& rp) {
+    const SpaceId a = rp.new_space(proto_names::kSC);
+    const SpaceId b = rp.new_space(proto_names::kNull);
+    ids[rp.me()] = b;
+    EXPECT_EQ(a + 1, b);
+  });
+  for (auto id : ids) EXPECT_EQ(id, ids[0]);
+}
+
+TEST(Runtime, GMallocMapWriteRead) {
+  Fixture f(1);
+  f.rt.run([](RuntimeProc& rp) {
+    const RegionId id = rp.gmalloc(kDefaultSpace, 16);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    rp.start_write(p);
+    p[0] = 0xdeadbeef;
+    rp.end_write(p);
+    rp.start_read(p);
+    EXPECT_EQ(p[0], 0xdeadbeefu);
+    rp.end_read(p);
+    rp.unmap(p);
+  });
+}
+
+TEST(Runtime, RemoteMapFetchesMetadata) {
+  Fixture f(2);
+  f.rt.run([](RuntimeProc& rp) {
+    RegionId id = dsm::kInvalidRegion;
+    if (rp.me() == 0) id = rp.gmalloc(kDefaultSpace, 64);
+    id = rp.bcast_region(id, 0);
+    void* p = rp.map(id);
+    Region& r = rp.region_of(p);
+    EXPECT_EQ(r.size(), 64u);
+    EXPECT_EQ(r.space(), kDefaultSpace);
+    EXPECT_EQ(r.is_home(), rp.me() == 0);
+    rp.unmap(p);
+    rp.proc().barrier();
+  });
+  EXPECT_EQ(f.rt.aggregate_dstats().map_meta_misses, 1u);
+}
+
+TEST(Runtime, WriteVisibleToRemoteReader) {
+  Fixture f(2);
+  f.rt.run([](RuntimeProc& rp) {
+    RegionId id = dsm::kInvalidRegion;
+    if (rp.me() == 0) id = rp.gmalloc(kDefaultSpace, 8);
+    id = rp.bcast_region(id, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    if (rp.me() == 0) {
+      rp.start_write(p);
+      *p = 777;
+      rp.end_write(p);
+    }
+    rp.ace_barrier(kDefaultSpace);
+    rp.start_read(p);
+    EXPECT_EQ(*p, 777u);
+    rp.end_read(p);
+    rp.unmap(p);
+    rp.proc().barrier();
+  });
+}
+
+TEST(Runtime, PaperStyleFreeFunctionApi) {
+  Fixture f(2);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = Ace_NewSpace(proto_names::kSC);
+    RegionId id = dsm::kInvalidRegion;
+    if (rp.me() == 0) id = Ace_GMalloc(sp, 8);
+    id = rp.bcast_region(id, 0);
+    auto* p = static_cast<std::uint64_t*>(ACE_MAP(id));
+    if (rp.me() == 0) {
+      ACE_START_WRITE(p);
+      *p = 99;
+      ACE_END_WRITE(p);
+    }
+    Ace_Barrier(sp);
+    ACE_START_READ(p);
+    EXPECT_EQ(*p, 99u);
+    ACE_END_READ(p);
+    ACE_UNMAP(p);
+    rp.proc().barrier();
+  });
+}
+
+TEST(Runtime, SysLockMutualExclusion) {
+  constexpr int kProcs = 6;
+  constexpr int kIters = 40;
+  Fixture f(kProcs);
+  f.rt.run([&](RuntimeProc& rp) {
+    RegionId lock_id = dsm::kInvalidRegion;
+    RegionId data_id = dsm::kInvalidRegion;
+    if (rp.me() == 0) {
+      lock_id = rp.gmalloc(kDefaultSpace, 8);
+      data_id = rp.gmalloc(kDefaultSpace, 8);
+    }
+    lock_id = rp.bcast_region(lock_id, 0);
+    data_id = rp.bcast_region(data_id, 0);
+    void* lk = rp.map(lock_id);
+    auto* d = static_cast<std::uint64_t*>(rp.map(data_id));
+    for (int i = 0; i < kIters; ++i) {
+      rp.ace_lock(lk);
+      rp.start_read(d);
+      const std::uint64_t v = *d;
+      rp.end_read(d);
+      rp.start_write(d);
+      *d = v + 1;
+      rp.end_write(d);
+      rp.ace_unlock(lk);
+    }
+    rp.ace_barrier(kDefaultSpace);
+    rp.start_read(d);
+    EXPECT_EQ(*d, std::uint64_t(kProcs) * kIters);
+    rp.end_read(d);
+  });
+}
+
+TEST(Runtime, CollectivesSumAndMin) {
+  Fixture f(5);
+  f.rt.run([](RuntimeProc& rp) {
+    const double s = rp.allreduce_sum(static_cast<double>(rp.me() + 1));
+    EXPECT_DOUBLE_EQ(s, 15.0);  // 1+2+3+4+5
+    const std::uint64_t m = rp.allreduce_min(100 + rp.me());
+    EXPECT_EQ(m, 100u);
+  });
+}
+
+TEST(Runtime, RepeatedCollectivesDoNotInterfere) {
+  Fixture f(3);
+  f.rt.run([](RuntimeProc& rp) {
+    for (int i = 0; i < 20; ++i) {
+      const double s = rp.allreduce_sum(1.0);
+      EXPECT_DOUBLE_EQ(s, 3.0);
+    }
+  });
+}
+
+TEST(Runtime, BcastBytesDeliversPayload) {
+  Fixture f(4);
+  f.rt.run([](RuntimeProc& rp) {
+    std::uint32_t data[4] = {0, 0, 0, 0};
+    if (rp.me() == 2) data[0] = 11, data[1] = 22, data[2] = 33, data[3] = 44;
+    rp.bcast_bytes(data, sizeof data, 2);
+    EXPECT_EQ(data[0], 11u);
+    EXPECT_EQ(data[3], 44u);
+  });
+}
+
+TEST(Runtime, TypedGuardsRoundTrip) {
+  Fixture f(2);
+  f.rt.run([](RuntimeProc& rp) {
+    global_ptr<double> g;
+    if (rp.me() == 0) g = gmalloc<double>(kDefaultSpace, 4);
+    g = global_ptr<double>(rp.bcast_region(g.id(), 0));
+    if (rp.me() == 0) {
+      WriteGuard<double> w(g);
+      w[0] = 3.5;
+      w[3] = -1.25;
+    }
+    rp.ace_barrier(kDefaultSpace);
+    {
+      ReadGuard<double> r(g);
+      EXPECT_DOUBLE_EQ(r[0], 3.5);
+      EXPECT_DOUBLE_EQ(r[3], -1.25);
+    }
+    rp.proc().barrier();
+  });
+}
+
+TEST(Runtime, TypedLockGuard) {
+  Fixture f(3);
+  f.rt.run([](RuntimeProc& rp) {
+    global_ptr<std::uint64_t> g;
+    if (rp.me() == 0) g = gmalloc<std::uint64_t>(kDefaultSpace);
+    g = global_ptr<std::uint64_t>(rp.bcast_region(g.id(), 0));
+    for (int i = 0; i < 10; ++i) {
+      LockGuard<std::uint64_t> lock(g);
+      WriteGuard<std::uint64_t> w(g);
+      *w += 1;
+    }
+    rp.ace_barrier(kDefaultSpace);
+    ReadGuard<std::uint64_t> r(g);
+    EXPECT_EQ(*r, 30u);
+  });
+}
+
+TEST(Runtime, ChangeProtocolFlushesModifiedCopiesHome) {
+  Fixture f(2);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kSC);
+    RegionId id = dsm::kInvalidRegion;
+    if (rp.me() == 0) id = rp.gmalloc(sp, 8);
+    id = rp.bcast_region(id, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    if (rp.me() == 1) {  // remote takes exclusive ownership
+      rp.start_write(p);
+      *p = 4242;
+      rp.end_write(p);
+    }
+    rp.proc().barrier();
+    // Switch to Null: SC's flush must bring proc 1's modified copy home.
+    rp.change_protocol(sp, proto_names::kNull);
+    if (rp.me() == 0) {
+      rp.start_read(p);  // Null: local access to home data
+      EXPECT_EQ(*p, 4242u);
+      rp.end_read(p);
+    }
+    rp.proc().barrier();
+  });
+}
+
+TEST(Runtime, ChangeProtocolBackAndForth) {
+  Fixture f(2);
+  f.rt.run([](RuntimeProc& rp) {
+    const SpaceId sp = rp.new_space(proto_names::kSC);
+    RegionId id = dsm::kInvalidRegion;
+    if (rp.me() == 0) id = rp.gmalloc(sp, 8);
+    id = rp.bcast_region(id, 0);
+    auto* p = static_cast<std::uint64_t*>(rp.map(id));
+    for (std::uint64_t round = 1; round <= 3; ++round) {
+      if (rp.me() == 0) {
+        rp.start_write(p);
+        *p = round;
+        rp.end_write(p);
+      }
+      rp.change_protocol(sp, proto_names::kDynamicUpdate);
+      rp.start_read(p);
+      EXPECT_EQ(*p, round);
+      rp.end_read(p);
+      rp.change_protocol(sp, proto_names::kSC);
+    }
+  });
+}
+
+TEST(Runtime, DstatsCountOperations) {
+  Fixture f(1);
+  f.rt.run([](RuntimeProc& rp) {
+    const RegionId id = rp.gmalloc(kDefaultSpace, 8);
+    void* p = rp.map(id);
+    rp.start_read(p);
+    rp.end_read(p);
+    rp.unmap(p);
+  });
+  const DsmStats s = f.rt.aggregate_dstats();
+  EXPECT_EQ(s.gmallocs, 1u);
+  EXPECT_EQ(s.maps, 1u);
+  EXPECT_EQ(s.start_reads, 1u);
+  EXPECT_EQ(s.unmaps, 1u);
+}
+
+TEST(Runtime, MapChargesModeledTime) {
+  Fixture f(1);
+  f.rt.run([](RuntimeProc& rp) {
+    const RegionId id = rp.gmalloc(kDefaultSpace, 8);
+    const auto t0 = rp.proc().vclock_ns();
+    void* p = rp.map(id);
+    EXPECT_GE(rp.proc().vclock_ns() - t0, rp.cost().map_fast_ns);
+    rp.unmap(p);
+  });
+}
+
+TEST(RuntimeDeath, UnknownProtocolNameAborts) {
+  Fixture f(1);
+  EXPECT_DEATH(
+      f.rt.run([](RuntimeProc& rp) { rp.new_space("Bogus"); }),
+      "unknown protocol");
+}
+
+TEST(RuntimeDeath, EndReadWithoutStartAborts) {
+  Fixture f(1);
+  EXPECT_DEATH(f.rt.run([](RuntimeProc& rp) {
+    const RegionId id = rp.gmalloc(kDefaultSpace, 8);
+    void* p = rp.map(id);
+    rp.end_read(p);
+  }),
+               "without start");
+}
+
+}  // namespace
