@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_change_protocol.dir/ablation_change_protocol.cpp.o"
+  "CMakeFiles/ablation_change_protocol.dir/ablation_change_protocol.cpp.o.d"
+  "ablation_change_protocol"
+  "ablation_change_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_change_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

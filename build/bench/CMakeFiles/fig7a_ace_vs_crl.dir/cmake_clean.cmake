@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_ace_vs_crl.dir/fig7a_ace_vs_crl.cpp.o"
+  "CMakeFiles/fig7a_ace_vs_crl.dir/fig7a_ace_vs_crl.cpp.o.d"
+  "fig7a_ace_vs_crl"
+  "fig7a_ace_vs_crl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_ace_vs_crl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7a_ace_vs_crl.
+# This may be replaced when dependencies are built.

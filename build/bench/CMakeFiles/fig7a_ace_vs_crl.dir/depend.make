@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7a_ace_vs_crl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_custom_protocols.dir/fig7b_custom_protocols.cpp.o"
+  "CMakeFiles/fig7b_custom_protocols.dir/fig7b_custom_protocols.cpp.o.d"
+  "fig7b_custom_protocols"
+  "fig7b_custom_protocols.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_custom_protocols.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_map.dir/micro_map.cpp.o"
+  "CMakeFiles/micro_map.dir/micro_map.cpp.o.d"
+  "micro_map"
+  "micro_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

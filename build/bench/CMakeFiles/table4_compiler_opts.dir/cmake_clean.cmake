@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_compiler_opts.dir/table4_compiler_opts.cpp.o"
+  "CMakeFiles/table4_compiler_opts.dir/table4_compiler_opts.cpp.o.d"
+  "table4_compiler_opts"
+  "table4_compiler_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_compiler_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

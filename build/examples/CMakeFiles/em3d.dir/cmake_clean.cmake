@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em3d.dir/em3d.cpp.o"
+  "CMakeFiles/em3d.dir/em3d.cpp.o.d"
+  "em3d"
+  "em3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_switch.dir/phase_switch.cpp.o"
+  "CMakeFiles/phase_switch.dir/phase_switch.cpp.o.d"
+  "phase_switch"
+  "phase_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

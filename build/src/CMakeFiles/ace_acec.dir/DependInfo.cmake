@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/acec/analysis.cpp" "src/CMakeFiles/ace_acec.dir/acec/analysis.cpp.o" "gcc" "src/CMakeFiles/ace_acec.dir/acec/analysis.cpp.o.d"
+  "/root/repo/src/acec/annotate.cpp" "src/CMakeFiles/ace_acec.dir/acec/annotate.cpp.o" "gcc" "src/CMakeFiles/ace_acec.dir/acec/annotate.cpp.o.d"
+  "/root/repo/src/acec/interp.cpp" "src/CMakeFiles/ace_acec.dir/acec/interp.cpp.o" "gcc" "src/CMakeFiles/ace_acec.dir/acec/interp.cpp.o.d"
+  "/root/repo/src/acec/ir.cpp" "src/CMakeFiles/ace_acec.dir/acec/ir.cpp.o" "gcc" "src/CMakeFiles/ace_acec.dir/acec/ir.cpp.o.d"
+  "/root/repo/src/acec/kernels.cpp" "src/CMakeFiles/ace_acec.dir/acec/kernels.cpp.o" "gcc" "src/CMakeFiles/ace_acec.dir/acec/kernels.cpp.o.d"
+  "/root/repo/src/acec/passes.cpp" "src/CMakeFiles/ace_acec.dir/acec/passes.cpp.o" "gcc" "src/CMakeFiles/ace_acec.dir/acec/passes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ace_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ace_am.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

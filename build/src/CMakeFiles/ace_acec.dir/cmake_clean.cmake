@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_acec.dir/acec/analysis.cpp.o"
+  "CMakeFiles/ace_acec.dir/acec/analysis.cpp.o.d"
+  "CMakeFiles/ace_acec.dir/acec/annotate.cpp.o"
+  "CMakeFiles/ace_acec.dir/acec/annotate.cpp.o.d"
+  "CMakeFiles/ace_acec.dir/acec/interp.cpp.o"
+  "CMakeFiles/ace_acec.dir/acec/interp.cpp.o.d"
+  "CMakeFiles/ace_acec.dir/acec/ir.cpp.o"
+  "CMakeFiles/ace_acec.dir/acec/ir.cpp.o.d"
+  "CMakeFiles/ace_acec.dir/acec/kernels.cpp.o"
+  "CMakeFiles/ace_acec.dir/acec/kernels.cpp.o.d"
+  "CMakeFiles/ace_acec.dir/acec/passes.cpp.o"
+  "CMakeFiles/ace_acec.dir/acec/passes.cpp.o.d"
+  "libace_acec.a"
+  "libace_acec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_acec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

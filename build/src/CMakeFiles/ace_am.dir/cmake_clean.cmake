@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_am.dir/am/machine.cpp.o"
+  "CMakeFiles/ace_am.dir/am/machine.cpp.o.d"
+  "libace_am.a"
+  "libace_am.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_am.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/barnes_hut.cpp" "src/CMakeFiles/ace_apps.dir/apps/barnes_hut.cpp.o" "gcc" "src/CMakeFiles/ace_apps.dir/apps/barnes_hut.cpp.o.d"
+  "/root/repo/src/apps/bsc.cpp" "src/CMakeFiles/ace_apps.dir/apps/bsc.cpp.o" "gcc" "src/CMakeFiles/ace_apps.dir/apps/bsc.cpp.o.d"
+  "/root/repo/src/apps/em3d.cpp" "src/CMakeFiles/ace_apps.dir/apps/em3d.cpp.o" "gcc" "src/CMakeFiles/ace_apps.dir/apps/em3d.cpp.o.d"
+  "/root/repo/src/apps/tsp.cpp" "src/CMakeFiles/ace_apps.dir/apps/tsp.cpp.o" "gcc" "src/CMakeFiles/ace_apps.dir/apps/tsp.cpp.o.d"
+  "/root/repo/src/apps/water.cpp" "src/CMakeFiles/ace_apps.dir/apps/water.cpp.o" "gcc" "src/CMakeFiles/ace_apps.dir/apps/water.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ace_crl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ace_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ace_am.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_apps.dir/apps/barnes_hut.cpp.o"
+  "CMakeFiles/ace_apps.dir/apps/barnes_hut.cpp.o.d"
+  "CMakeFiles/ace_apps.dir/apps/bsc.cpp.o"
+  "CMakeFiles/ace_apps.dir/apps/bsc.cpp.o.d"
+  "CMakeFiles/ace_apps.dir/apps/em3d.cpp.o"
+  "CMakeFiles/ace_apps.dir/apps/em3d.cpp.o.d"
+  "CMakeFiles/ace_apps.dir/apps/tsp.cpp.o"
+  "CMakeFiles/ace_apps.dir/apps/tsp.cpp.o.d"
+  "CMakeFiles/ace_apps.dir/apps/water.cpp.o"
+  "CMakeFiles/ace_apps.dir/apps/water.cpp.o.d"
+  "libace_apps.a"
+  "libace_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ace/config.cpp" "src/CMakeFiles/ace_core.dir/ace/config.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/ace/config.cpp.o.d"
+  "/root/repo/src/ace/registry.cpp" "src/CMakeFiles/ace_core.dir/ace/registry.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/ace/registry.cpp.o.d"
+  "/root/repo/src/ace/runtime.cpp" "src/CMakeFiles/ace_core.dir/ace/runtime.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/ace/runtime.cpp.o.d"
+  "/root/repo/src/ace/space.cpp" "src/CMakeFiles/ace_core.dir/ace/space.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/ace/space.cpp.o.d"
+  "/root/repo/src/protocols/counter.cpp" "src/CMakeFiles/ace_core.dir/protocols/counter.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/protocols/counter.cpp.o.d"
+  "/root/repo/src/protocols/dynamic_update.cpp" "src/CMakeFiles/ace_core.dir/protocols/dynamic_update.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/protocols/dynamic_update.cpp.o.d"
+  "/root/repo/src/protocols/home_write.cpp" "src/CMakeFiles/ace_core.dir/protocols/home_write.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/protocols/home_write.cpp.o.d"
+  "/root/repo/src/protocols/migratory.cpp" "src/CMakeFiles/ace_core.dir/protocols/migratory.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/protocols/migratory.cpp.o.d"
+  "/root/repo/src/protocols/null_protocol.cpp" "src/CMakeFiles/ace_core.dir/protocols/null_protocol.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/protocols/null_protocol.cpp.o.d"
+  "/root/repo/src/protocols/pipelined_write.cpp" "src/CMakeFiles/ace_core.dir/protocols/pipelined_write.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/protocols/pipelined_write.cpp.o.d"
+  "/root/repo/src/protocols/race_check.cpp" "src/CMakeFiles/ace_core.dir/protocols/race_check.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/protocols/race_check.cpp.o.d"
+  "/root/repo/src/protocols/sc_invalidate.cpp" "src/CMakeFiles/ace_core.dir/protocols/sc_invalidate.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/protocols/sc_invalidate.cpp.o.d"
+  "/root/repo/src/protocols/static_update.cpp" "src/CMakeFiles/ace_core.dir/protocols/static_update.cpp.o" "gcc" "src/CMakeFiles/ace_core.dir/protocols/static_update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ace_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ace_am.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

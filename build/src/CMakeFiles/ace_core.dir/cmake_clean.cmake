@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_core.dir/ace/config.cpp.o"
+  "CMakeFiles/ace_core.dir/ace/config.cpp.o.d"
+  "CMakeFiles/ace_core.dir/ace/registry.cpp.o"
+  "CMakeFiles/ace_core.dir/ace/registry.cpp.o.d"
+  "CMakeFiles/ace_core.dir/ace/runtime.cpp.o"
+  "CMakeFiles/ace_core.dir/ace/runtime.cpp.o.d"
+  "CMakeFiles/ace_core.dir/ace/space.cpp.o"
+  "CMakeFiles/ace_core.dir/ace/space.cpp.o.d"
+  "CMakeFiles/ace_core.dir/protocols/counter.cpp.o"
+  "CMakeFiles/ace_core.dir/protocols/counter.cpp.o.d"
+  "CMakeFiles/ace_core.dir/protocols/dynamic_update.cpp.o"
+  "CMakeFiles/ace_core.dir/protocols/dynamic_update.cpp.o.d"
+  "CMakeFiles/ace_core.dir/protocols/home_write.cpp.o"
+  "CMakeFiles/ace_core.dir/protocols/home_write.cpp.o.d"
+  "CMakeFiles/ace_core.dir/protocols/migratory.cpp.o"
+  "CMakeFiles/ace_core.dir/protocols/migratory.cpp.o.d"
+  "CMakeFiles/ace_core.dir/protocols/null_protocol.cpp.o"
+  "CMakeFiles/ace_core.dir/protocols/null_protocol.cpp.o.d"
+  "CMakeFiles/ace_core.dir/protocols/pipelined_write.cpp.o"
+  "CMakeFiles/ace_core.dir/protocols/pipelined_write.cpp.o.d"
+  "CMakeFiles/ace_core.dir/protocols/race_check.cpp.o"
+  "CMakeFiles/ace_core.dir/protocols/race_check.cpp.o.d"
+  "CMakeFiles/ace_core.dir/protocols/sc_invalidate.cpp.o"
+  "CMakeFiles/ace_core.dir/protocols/sc_invalidate.cpp.o.d"
+  "CMakeFiles/ace_core.dir/protocols/static_update.cpp.o"
+  "CMakeFiles/ace_core.dir/protocols/static_update.cpp.o.d"
+  "libace_core.a"
+  "libace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

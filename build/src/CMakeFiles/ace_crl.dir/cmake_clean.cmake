@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_crl.dir/crl/crl.cpp.o"
+  "CMakeFiles/ace_crl.dir/crl/crl.cpp.o.d"
+  "libace_crl.a"
+  "libace_crl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_crl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsm/mapper.cpp" "src/CMakeFiles/ace_dsm.dir/dsm/mapper.cpp.o" "gcc" "src/CMakeFiles/ace_dsm.dir/dsm/mapper.cpp.o.d"
+  "/root/repo/src/dsm/region.cpp" "src/CMakeFiles/ace_dsm.dir/dsm/region.cpp.o" "gcc" "src/CMakeFiles/ace_dsm.dir/dsm/region.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ace_am.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ace_dsm.dir/dsm/mapper.cpp.o"
+  "CMakeFiles/ace_dsm.dir/dsm/mapper.cpp.o.d"
+  "CMakeFiles/ace_dsm.dir/dsm/region.cpp.o"
+  "CMakeFiles/ace_dsm.dir/dsm/region.cpp.o.d"
+  "libace_dsm.a"
+  "libace_dsm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ace_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_acec.cpp" "tests/CMakeFiles/test_acec.dir/test_acec.cpp.o" "gcc" "tests/CMakeFiles/test_acec.dir/test_acec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ace_acec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ace_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ace_crl.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ace_dsm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ace_am.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

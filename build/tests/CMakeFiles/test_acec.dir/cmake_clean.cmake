@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acec.dir/test_acec.cpp.o"
+  "CMakeFiles/test_acec.dir/test_acec.cpp.o.d"
+  "test_acec"
+  "test_acec.pdb"
+  "test_acec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_crl.dir/test_crl.cpp.o"
+  "CMakeFiles/test_crl.dir/test_crl.cpp.o.d"
+  "test_crl"
+  "test_crl.pdb"
+  "test_crl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_crl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sc.dir/test_sc.cpp.o"
+  "CMakeFiles/test_sc.dir/test_sc.cpp.o.d"
+  "test_sc"
+  "test_sc.pdb"
+  "test_sc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

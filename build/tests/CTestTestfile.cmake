@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_am[1]_include.cmake")
+include("/root/repo/build/tests/test_region[1]_include.cmake")
+include("/root/repo/build/tests/test_mapper[1]_include.cmake")
+include("/root/repo/build/tests/test_config[1]_include.cmake")
+include("/root/repo/build/tests/test_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_sc[1]_include.cmake")
+include("/root/repo/build/tests/test_protocols[1]_include.cmake")
+include("/root/repo/build/tests/test_crl[1]_include.cmake")
+include("/root/repo/build/tests/test_apps[1]_include.cmake")
+include("/root/repo/build/tests/test_acec[1]_include.cmake")
+include("/root/repo/build/tests/test_transitions[1]_include.cmake")
+include("/root/repo/build/tests/test_typed[1]_include.cmake")
+include("/root/repo/build/tests/test_locks[1]_include.cmake")
+include("/root/repo/build/tests/test_race_check[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
