@@ -79,6 +79,7 @@ bench::RunResult run_layout(std::uint32_t procs, std::uint32_t iters,
   res.wall_s = std::chrono::duration<double>(t1 - t0).count();
   res.msgs = machine.aggregate_stats().msgs_sent;
   res.mbytes = static_cast<double>(machine.aggregate_stats().bytes_sent) / 1e6;
+  res.spaces = rt.aggregate_space_metrics();
   return res;
 }
 
@@ -114,11 +115,13 @@ int main(int argc, char** argv) {
   };
 
   ace::Table t({"layout", "modeled(s)", "msgs", "MB moved", "wall(s)"});
+  std::vector<bench::Row> rep;
   for (const auto& l : layouts) {
     const auto r = run_layout(procs, iters, words_per_proc, l.regions);
     t.add_row({l.name, ace::fmt_f(r.modeled_s, 4),
                ace::fmt_i(static_cast<long long>(r.msgs)),
                ace::fmt_f(r.mbytes, 2), ace::fmt_f(r.wall_s, 2)});
+    rep.push_back({l.name, "", r});
   }
   t.print();
   std::printf(
@@ -126,5 +129,7 @@ int main(int argc, char** argv) {
       "the first fetch; fixed lines ping-pong ownership on every boundary\n"
       "line; one big region serializes all %u writers through one home.\n",
       procs);
+
+  bench::report("ablation_granularity", rep);
   return 0;
 }

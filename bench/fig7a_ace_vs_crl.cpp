@@ -8,9 +8,12 @@
 // mapping technique, and roughly even on coarse-grained BSC, where the
 // space->protocol dispatch indirection eats the runtime-system gains.
 //
-// Usage: fig7a_ace_vs_crl [--procs=8] [--full] [--seed=N]
+// Usage: fig7a_ace_vs_crl [--procs=8] [--full] [--seed=N] [--trace]
 //   --full uses the paper's input sizes (Table 3); the default scales the
 //   two largest inputs down so the whole bench suite stays fast.
+//   --trace records each Ace run's virtual-time event trace and writes
+//   TRACE_fig7a_<app>.json (Chrome trace-event format; open in Perfetto).
+// Writes BENCH_fig7a.json next to the human tables (schema: EXPERIMENTS.md).
 
 #include <cstdio>
 
@@ -53,7 +56,14 @@ int main(int argc, char** argv) {
   const auto procs = static_cast<std::uint32_t>(cli.get_int("procs", 8));
   const bool full = cli.get_bool("full", false);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const bool trace = cli.get_bool("trace", false);
   cli.finish();
+
+  auto trace_opt = [&](const std::string& app) {
+    bench::RunOptions o;
+    if (trace) o.trace_path = "TRACE_fig7a_" + app + ".json";
+    return o;
+  };
 
   std::printf(
       "Figure 7a: Ace runtime vs CRL, both on the SC invalidation protocol\n"
@@ -70,7 +80,8 @@ int main(int argc, char** argv) {
     p.map_per_access = true;  // CRL 1.0 annotation style (see em3d.hpp)
     Row row{"Barnes-Hut", {}, {}};
     row.crl = bench::run_crl(procs, [&](CrlApi& a) { bh_run(a, p); });
-    row.ace = bench::run_ace(procs, [&](AceApi& a) { bh_run(a, p); });
+    row.ace = bench::run_ace(procs, [&](AceApi& a) { bh_run(a, p); },
+                             trace_opt("barnes_hut"));
     rows.push_back(row);
   }
   {
@@ -81,7 +92,8 @@ int main(int argc, char** argv) {
     p.seed = seed;
     Row row{"BSC", {}, {}};
     row.crl = bench::run_crl(procs, [&](CrlApi& a) { bsc_run(a, p); });
-    row.ace = bench::run_ace(procs, [&](AceApi& a) { bsc_run(a, p); });
+    row.ace = bench::run_ace(procs, [&](AceApi& a) { bsc_run(a, p); },
+                             trace_opt("bsc"));
     rows.push_back(row);
   }
   {
@@ -93,7 +105,8 @@ int main(int argc, char** argv) {
     p.map_per_access = true;  // CRL 1.0 annotation style
     Row row{"EM3D", {}, {}};
     row.crl = bench::run_crl(procs, [&](CrlApi& a) { em3d_run(a, p); });
-    row.ace = bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); });
+    row.ace = bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); },
+                             trace_opt("em3d"));
     rows.push_back(row);
   }
   {
@@ -105,13 +118,10 @@ int main(int argc, char** argv) {
     for (std::uint64_t s = 0; s < 5; ++s) {
       p.seed = seed + s;
       const auto c = bench::run_crl(procs, [&](CrlApi& a) { tsp_run(a, p); });
-      const auto x = bench::run_ace(procs, [&](AceApi& a) { tsp_run(a, p); });
-      row.crl.modeled_s += c.modeled_s;
-      row.crl.wall_s += c.wall_s;
-      row.crl.msgs += c.msgs;
-      row.ace.modeled_s += x.modeled_s;
-      row.ace.wall_s += x.wall_s;
-      row.ace.msgs += x.msgs;
+      const auto x = bench::run_ace(procs, [&](AceApi& a) { tsp_run(a, p); },
+                                    trace_opt("tsp"));
+      bench::accumulate(row.crl, c);
+      bench::accumulate(row.ace, x);
     }
     rows.push_back(row);
   }
@@ -122,7 +132,8 @@ int main(int argc, char** argv) {
     p.seed = seed;
     Row row{"Water", {}, {}};
     row.crl = bench::run_crl(procs, [&](CrlApi& a) { water_run(a, p); });
-    row.ace = bench::run_ace(procs, [&](AceApi& a) { water_run(a, p); });
+    row.ace = bench::run_ace(procs, [&](AceApi& a) { water_run(a, p); },
+                             trace_opt("water"));
     rows.push_back(row);
   }
 
@@ -131,5 +142,12 @@ int main(int argc, char** argv) {
       "\nShape check vs paper: Ace/CRL speedup > 1 on the fine-grained apps\n"
       "(Barnes-Hut, EM3D; mapping dominates), ~1.0 on coarse-grained BSC\n"
       "(dispatch indirection cancels the runtime gains).\n");
+
+  std::vector<bench::Row> rep;
+  for (const auto& r : rows) {
+    rep.push_back({r.app, "CRL", r.crl});
+    rep.push_back({r.app, "Ace", r.ace});
+  }
+  bench::report("fig7a", rep);
   return 0;
 }

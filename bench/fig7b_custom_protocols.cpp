@@ -6,7 +6,10 @@
 // static update protocol), average about 2x.  §3.3 additionally reports
 // ~3.5x for EM3D under *dynamic* update, which we print as its own row.
 //
-// Usage: fig7b_custom_protocols [--procs=8] [--full] [--seed=N]
+// Usage: fig7b_custom_protocols [--procs=8] [--full] [--seed=N] [--trace]
+//   --trace records each custom-protocol run's virtual-time event trace as
+//   TRACE_fig7b_<app>.json (Chrome trace-event format; open in Perfetto).
+// Writes BENCH_fig7b.json next to the human tables (schema: EXPERIMENTS.md).
 
 #include <cstdio>
 
@@ -55,7 +58,14 @@ int main(int argc, char** argv) {
   const auto procs = static_cast<std::uint32_t>(cli.get_int("procs", 8));
   const bool full = cli.get_bool("full", false);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const bool trace = cli.get_bool("trace", false);
   cli.finish();
+
+  auto trace_opt = [&](const std::string& app) {
+    bench::RunOptions o;
+    if (trace) o.trace_path = "TRACE_fig7b_" + app + ".json";
+    return o;
+  };
 
   std::printf(
       "Figure 7b: single SC protocol vs application-specific protocols (Ace)\n"
@@ -73,7 +83,8 @@ int main(int argc, char** argv) {
     p.custom_protocols = false;
     row.sc = bench::run_ace(procs, [&](AceApi& a) { bh_run(a, p); });
     p.custom_protocols = true;
-    row.custom = bench::run_ace(procs, [&](AceApi& a) { bh_run(a, p); });
+    row.custom = bench::run_ace(procs, [&](AceApi& a) { bh_run(a, p); },
+                                trace_opt("barnes_hut"));
     rows.push_back(row);
   }
   {
@@ -86,7 +97,8 @@ int main(int argc, char** argv) {
     p.custom_protocols = false;
     row.sc = bench::run_ace(procs, [&](AceApi& a) { bsc_run(a, p); });
     p.custom_protocols = true;
-    row.custom = bench::run_ace(procs, [&](AceApi& a) { bsc_run(a, p); });
+    row.custom = bench::run_ace(procs, [&](AceApi& a) { bsc_run(a, p); },
+                                trace_opt("bsc"));
     rows.push_back(row);
   }
   {
@@ -100,11 +112,13 @@ int main(int argc, char** argv) {
         bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); });
     p.protocol = "DynamicUpdate";
     Row dyn{"EM3D", "DynamicUpdate", sc, {}};
-    dyn.custom = bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); });
+    dyn.custom = bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); },
+                                trace_opt("em3d_dynamic"));
     rows.push_back(dyn);
     p.protocol = "StaticUpdate";
     Row sta{"EM3D", "StaticUpdate", sc, {}};
-    sta.custom = bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); });
+    sta.custom = bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); },
+                                trace_opt("em3d_static"));
     rows.push_back(sta);
   }
   {
@@ -118,13 +132,10 @@ int main(int argc, char** argv) {
       p.custom_counter = false;
       const auto a0 = bench::run_ace(procs, [&](AceApi& a) { tsp_run(a, p); });
       p.custom_counter = true;
-      const auto a1 = bench::run_ace(procs, [&](AceApi& a) { tsp_run(a, p); });
-      row.sc.modeled_s += a0.modeled_s;
-      row.sc.wall_s += a0.wall_s;
-      row.sc.msgs += a0.msgs;
-      row.custom.modeled_s += a1.modeled_s;
-      row.custom.wall_s += a1.wall_s;
-      row.custom.msgs += a1.msgs;
+      const auto a1 = bench::run_ace(procs, [&](AceApi& a) { tsp_run(a, p); },
+                                     trace_opt("tsp"));
+      bench::accumulate(row.sc, a0);
+      bench::accumulate(row.custom, a1);
     }
     rows.push_back(row);
   }
@@ -138,7 +149,8 @@ int main(int argc, char** argv) {
     p.custom_protocols = false;
     row.sc = bench::run_ace(procs, [&](AceApi& a) { water_run(a, p); });
     p.custom_protocols = true;
-    row.custom = bench::run_ace(procs, [&](AceApi& a) { water_run(a, p); });
+    row.custom = bench::run_ace(procs, [&](AceApi& a) { water_run(a, p); },
+                                trace_opt("water"));
     rows.push_back(row);
   }
 
@@ -146,5 +158,14 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check vs paper (§3.3, §5.2): EM3D static ~5x > EM3D dynamic\n"
       "~3.5x > Water ~2x > Barnes-Hut/TSP > BSC ~1.02x (marginal).\n");
+
+  std::vector<bench::Row> rep;
+  for (const auto& r : rows) {
+    const std::string app =
+        r.app == "EM3D" ? r.app + " (" + r.protocol + ")" : r.app;
+    rep.push_back({app, "SC", r.sc});
+    rep.push_back({app, r.protocol, r.custom});
+  }
+  bench::report("fig7b", rep);
   return 0;
 }

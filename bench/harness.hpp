@@ -6,18 +6,28 @@
 //     model; the primary series, host-independent),
 //   * wall time — host seconds (informative only; everything serializes
 //     onto the host's cores),
-//   * transport counters (messages, MB moved).
+//   * transport counters (messages, MB moved),
+//   * per-(space, protocol) DSM counters (ace::obs) — which space cost what.
 // EXPERIMENTS.md records the model constants and the paper-vs-measured
 // comparison for every row printed here.
+//
+// Every bench funnels its rows through bench::report(), which prints the
+// uniform breakdown table and writes machine-readable BENCH_<name>.json
+// (schema in EXPERIMENTS.md) for scripted consumption.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "apps/api.hpp"
 #include "common/table.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace bench {
 
@@ -26,46 +36,190 @@ struct RunResult {
   double wall_s = 0;
   std::uint64_t msgs = 0;
   double mbytes = 0;
+  /// Per-(space, protocol) breakdown, merged across processors (for CRL
+  /// runs: one pseudo-space labeled "CRL-SC").  Message/byte counts here
+  /// cover space-attributed traffic (protocol, lock, and map messages);
+  /// collective and barrier traffic stays machine-level in `msgs`/`mbytes`.
+  std::vector<ace::obs::SpaceMetrics> spaces;
+};
+
+/// Optional per-run knobs (virtual-time tracing).
+struct RunOptions {
+  /// When non-empty, record a trace and export it here as Chrome
+  /// trace-event JSON (load in Perfetto / chrome://tracing).
+  std::string trace_path;
+  std::size_t trace_events_per_proc = std::size_t{1} << 16;
 };
 
 /// Run `fn` (an SPMD body using AceApi) on a fresh machine/runtime.
 inline RunResult run_ace(std::uint32_t procs,
-                         const std::function<void(apps::AceApi&)>& fn) {
+                         const std::function<void(apps::AceApi&)>& fn,
+                         const RunOptions& opt = {}) {
   ace::am::Machine machine(procs);
   ace::Runtime rt(machine);
+  if (!opt.trace_path.empty()) machine.enable_tracing(opt.trace_events_per_proc);
   const auto t0 = std::chrono::steady_clock::now();
   rt.run([&](ace::RuntimeProc& rp) {
     apps::AceApi api(rp);
     fn(api);
   });
   const auto t1 = std::chrono::steady_clock::now();
+  if (!opt.trace_path.empty()) {
+    if (machine.write_trace(opt.trace_path))
+      std::fprintf(stderr, "trace written to %s\n", opt.trace_path.c_str());
+    else
+      std::fprintf(stderr, "trace write FAILED: %s\n", opt.trace_path.c_str());
+  }
   RunResult r;
   r.modeled_s = static_cast<double>(machine.max_vclock_ns()) * 1e-9;
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   const auto s = machine.aggregate_stats();
   r.msgs = s.msgs_sent;
   r.mbytes = static_cast<double>(s.bytes_sent) / 1e6;
+  r.spaces = rt.aggregate_space_metrics();
   return r;
 }
 
 /// Run `fn` (an SPMD body using CrlApi) on a fresh machine/CRL runtime.
 inline RunResult run_crl(std::uint32_t procs,
-                         const std::function<void(apps::CrlApi&)>& fn) {
+                         const std::function<void(apps::CrlApi&)>& fn,
+                         const RunOptions& opt = {}) {
   ace::am::Machine machine(procs);
   crl::CrlRuntime rt(machine);
+  if (!opt.trace_path.empty()) machine.enable_tracing(opt.trace_events_per_proc);
   const auto t0 = std::chrono::steady_clock::now();
   rt.run([&](crl::CrlProc& cp) {
     apps::CrlApi api(cp);
     fn(api);
   });
   const auto t1 = std::chrono::steady_clock::now();
+  if (!opt.trace_path.empty()) {
+    if (machine.write_trace(opt.trace_path))
+      std::fprintf(stderr, "trace written to %s\n", opt.trace_path.c_str());
+  }
   RunResult r;
   r.modeled_s = static_cast<double>(machine.max_vclock_ns()) * 1e-9;
   r.wall_s = std::chrono::duration<double>(t1 - t0).count();
   const auto s = machine.aggregate_stats();
   r.msgs = s.msgs_sent;
   r.mbytes = static_cast<double>(s.bytes_sent) / 1e6;
+  // CRL has no spaces; surface its counters as one pseudo-space row so the
+  // BENCH json schema is uniform across the Ace/CRL comparison.
+  const auto cs = rt.aggregate_stats();
+  ace::obs::SpaceMetrics m;
+  m.space = 0;
+  m.protocol = "CRL-SC";
+  m.dsm.maps = cs.maps;
+  m.dsm.map_meta_misses = cs.map_misses;
+  m.dsm.start_reads = cs.start_reads;
+  m.dsm.read_misses = cs.read_misses;
+  m.dsm.start_writes = cs.start_writes;
+  m.dsm.write_misses = cs.write_misses;
+  m.dsm.invalidations = cs.invalidations;
+  m.dsm.recalls = cs.recalls;
+  m.dsm.fetches = cs.fetches;
+  m.msgs = s.msgs_sent;
+  m.bytes = s.bytes_sent;
+  r.spaces.push_back(std::move(m));
   return r;
+}
+
+/// Sum `r` into `into` (multi-instance benches like TSP average out noise
+/// by accumulating several runs into one row).  Space rows merge by
+/// (space, protocol).
+inline void accumulate(RunResult& into, const RunResult& r) {
+  into.modeled_s += r.modeled_s;
+  into.wall_s += r.wall_s;
+  into.msgs += r.msgs;
+  into.mbytes += r.mbytes;
+  auto all = into.spaces;
+  all.insert(all.end(), r.spaces.begin(), r.spaces.end());
+  into.spaces = ace::obs::merge_by_key(all);
+}
+
+/// One labeled result for bench::report — e.g. {"em3d", "ace-custom", res}.
+struct Row {
+  std::string label;    ///< what ran (app, configuration, grain size, ...)
+  std::string variant;  ///< which system/strategy produced it ("" if n/a)
+  RunResult res;
+};
+
+/// Serialize `rows` as the BENCH_<name>.json document (schema: see
+/// EXPERIMENTS.md).  Returned string ends with a newline.
+inline std::string to_json(const std::string& name,
+                           const std::vector<Row>& rows) {
+  ace::obs::JsonWriter w;
+  w.begin_object();
+  w.kv("bench", name);
+  w.key("rows");
+  w.begin_array();
+  for (const auto& row : rows) {
+    w.begin_object();
+    w.kv("label", row.label);
+    w.kv("variant", row.variant);
+    w.kv("modeled_s", row.res.modeled_s);
+    w.kv("wall_s", row.res.wall_s);
+    w.kv("msgs", row.res.msgs);
+    w.kv("mbytes", row.res.mbytes);
+    w.key("spaces");
+    w.begin_array();
+    for (const auto& sm : row.res.spaces) {
+      w.begin_object();
+      w.kv("space", static_cast<std::uint64_t>(sm.space));
+      w.kv("protocol", sm.protocol);
+      w.kv("maps", sm.dsm.maps);
+      w.kv("start_reads", sm.dsm.start_reads);
+      w.kv("read_misses", sm.dsm.read_misses);
+      w.kv("start_writes", sm.dsm.start_writes);
+      w.kv("write_misses", sm.dsm.write_misses);
+      w.kv("barriers", sm.dsm.barriers);
+      w.kv("locks", sm.dsm.locks);
+      w.kv("invalidations", sm.dsm.invalidations);
+      w.kv("updates", sm.dsm.updates);
+      w.kv("msgs", sm.msgs);
+      w.kv("bytes", sm.bytes);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str() + "\n";
+}
+
+/// Print the uniform breakdown table (one line per run plus an indented
+/// line per space) and write BENCH_<name>.json to the working directory.
+inline void report(const std::string& name, const std::vector<Row>& rows) {
+  ace::Table t({"run", "variant", "modeled(s)", "wall(s)", "msgs", "MB",
+                "space", "protocol", "rd miss", "wr miss"});
+  for (const auto& row : rows) {
+    t.add_row({row.label, row.variant, ace::fmt_f(row.res.modeled_s, 4),
+               ace::fmt_f(row.res.wall_s, 3),
+               ace::fmt_i(static_cast<long long>(row.res.msgs)),
+               ace::fmt_f(row.res.mbytes, 2), "", "", "", ""});
+    for (const auto& sm : row.res.spaces) {
+      t.add_row({"", "", "", "",
+                 ace::fmt_i(static_cast<long long>(sm.msgs)),
+                 ace::fmt_f(static_cast<double>(sm.bytes) / 1e6, 2),
+                 ace::fmt_i(sm.space), sm.protocol,
+                 ace::fmt_i(static_cast<long long>(sm.dsm.read_misses)),
+                 ace::fmt_i(static_cast<long long>(sm.dsm.write_misses))});
+    }
+  }
+  std::printf("\n-- %s: per-space breakdown --\n", name.c_str());
+  t.print();
+
+  const std::string path = "BENCH_" + name + ".json";
+  const std::string doc = to_json(name, rows);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace bench

@@ -35,7 +35,7 @@ using namespace ace::ir;
 
 struct Variant {
   std::string name;
-  double modeled_s = 0;
+  bench::RunResult res;
   double checksum = 0;
   std::uint64_t protocol_calls = 0;
 };
@@ -48,11 +48,13 @@ Variant run_variant(const std::string& name, const KernelCase& kc,
   std::vector<KernelArgs> args(procs);
   rt.run([&](RuntimeProc& rp) { args[rp.me()] = kc.setup(rp); });
   machine.reset_stats();
+  rt.reset_metrics();  // exclude setup traffic from the per-space breakdown
 
   Variant v;
   v.name = name;
   std::vector<std::uint64_t> calls(procs, 0);
   std::vector<double> sums(procs, 0);
+  const auto t0 = std::chrono::steady_clock::now();
   rt.run([&](RuntimeProc& rp) {
     if (f != nullptr) {
       const ExecStats es = execute(*f, rp, args[rp.me()]);
@@ -63,7 +65,13 @@ Variant run_variant(const std::string& name, const KernelCase& kc,
     rp.proc().barrier();
     sums[rp.me()] = kc.checksum(rp, args[rp.me()]);
   });
-  v.modeled_s = static_cast<double>(machine.max_vclock_ns()) * 1e-9;
+  const auto t1 = std::chrono::steady_clock::now();
+  v.res.modeled_s = static_cast<double>(machine.max_vclock_ns()) * 1e-9;
+  v.res.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  const auto ms = machine.aggregate_stats();
+  v.res.msgs = ms.msgs_sent;
+  v.res.mbytes = static_cast<double>(ms.bytes_sent) / 1e6;
+  v.res.spaces = rt.aggregate_space_metrics();
   for (std::uint32_t p = 0; p < procs; ++p) {
     v.checksum += sums[p];
     v.protocol_calls += calls[p];
@@ -90,6 +98,7 @@ int main(int argc, char** argv) {
 
   ace::Table t({"Optimization", "Barnes-Hut", "BSC", "EM3D", "TSP", "Water"});
   std::vector<std::vector<double>> times(5);  // [variant][app]
+  std::vector<bench::Row> rep_rows;
   std::vector<std::string> vnames = {"Base case", "Loop Invariance (LI)",
                                      "LI + Merging Calls (MC)",
                                      "LI + MC + Direct Calls",
@@ -137,7 +146,8 @@ int main(int argc, char** argv) {
         rep.hoisted_maps, rep.hoisted_pairs, rep.merged_maps, rep.merged_pairs,
         rep.direct_calls, rep.removed_null);
 
-    for (std::size_t i = 0; i < 5; ++i) times[i].push_back(vs[i]->modeled_s);
+    for (std::size_t i = 0; i < 5; ++i) times[i].push_back(vs[i]->res.modeled_s);
+    for (const auto* v : vs) rep_rows.push_back({kc.name, v->name, v->res});
   }
 
   std::printf("\nAll times modeled seconds.\n");
@@ -152,5 +162,7 @@ int main(int argc, char** argv) {
   for (std::size_t app = 0; app < times[0].size(); ++app)
     std::printf("  %-11s %.2f\n", cases[app].name.c_str(),
                 times[3][app] / times[4][app]);
+
+  bench::report("table4", rep_rows);
   return 0;
 }

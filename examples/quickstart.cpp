@@ -4,7 +4,7 @@
 //   2. Allocate shared regions from a space (default protocol: sequentially
 //      consistent invalidation) and exchange their ids.
 //   3. Access them with the paper's annotations — or, more comfortably,
-//      with the typed RAII layer (ReadGuard / WriteGuard / LockGuard).
+//      with the typed RAII layer (p.read() / p.write() / p.lock()).
 //   4. Look at what it cost: messages, misses, modeled time.
 //
 // Build & run:  ./examples/quickstart [--procs=4]
@@ -32,14 +32,14 @@ int main(int argc, char** argv) {
         rp.bcast_region(counter.id(), 0));
 
     for (int i = 0; i < 5; ++i) {
-      ace::LockGuard lock(counter);
-      ace::WriteGuard w(counter);
+      auto lock = counter.lock();
+      auto w = counter.write();
       *w += 1;
     }
     rp.ace_barrier(ace::kDefaultSpace);
 
     {
-      ace::ReadGuard r(counter);
+      auto r = counter.read();
       if (rp.me() == 0)
         std::printf("counter = %llu (expected %u)\n",
                     static_cast<unsigned long long>(*r), 5 * rp.nprocs());

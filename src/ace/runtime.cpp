@@ -26,25 +26,6 @@ double bits_double(std::uint64_t b) {
 }
 }  // namespace
 
-void DsmStats::merge(const DsmStats& o) {
-  gmallocs += o.gmallocs;
-  maps += o.maps;
-  map_meta_misses += o.map_meta_misses;
-  unmaps += o.unmaps;
-  start_reads += o.start_reads;
-  read_misses += o.read_misses;
-  start_writes += o.start_writes;
-  write_misses += o.write_misses;
-  barriers += o.barriers;
-  locks += o.locks;
-  unlocks += o.unlocks;
-  invalidations += o.invalidations;
-  recalls += o.recalls;
-  updates += o.updates;
-  fetches += o.fetches;
-  flushes += o.flushes;
-}
-
 // ---------------------------------------------------------------------------
 // Runtime (machine-wide)
 // ---------------------------------------------------------------------------
@@ -120,8 +101,20 @@ RuntimeProc& Runtime::cur() {
 DsmStats Runtime::aggregate_dstats() const {
   DsmStats s;
   for (const auto& rp : rprocs_)
-    if (rp) s.merge(rp->dstats_);
+    if (rp) s.merge(rp->dstats_total());
   return s;
+}
+
+std::vector<obs::SpaceMetrics> Runtime::aggregate_space_metrics() const {
+  std::vector<obs::SpaceMetrics> all;
+  for (const auto& rp : rprocs_)
+    if (rp) all.insert(all.end(), rp->segs_.begin(), rp->segs_.end());
+  return obs::merge_by_key(all);
+}
+
+void Runtime::reset_metrics() {
+  for (auto& rp : rprocs_)
+    if (rp) rp->reset_metrics();
 }
 
 // ---------------------------------------------------------------------------
@@ -132,6 +125,7 @@ RuntimeProc::RuntimeProc(Runtime& rt, am::Proc& proc)
     : rt_(rt), proc_(proc), mapper_(regions_) {
   proc_.set_ctx(am::kCtxAce, this);
   // The default space with the default sequentially consistent protocol.
+  open_segment(kDefaultSpace, proto_names::kSC);
   spaces_.push_back(std::make_unique<Space>(
       kDefaultSpace, proto_names::kSC,
       rt_.registry().create(proto_names::kSC, *this, kDefaultSpace)));
@@ -151,6 +145,31 @@ Space& RuntimeProc::space(SpaceId s) {
   return *spaces_[s];
 }
 
+obs::SpaceMetrics& RuntimeProc::smetrics(SpaceId s) {
+  ACE_CHECK_MSG(s < cur_seg_.size(), "unknown space id");
+  return segs_[cur_seg_[s]];
+}
+
+void RuntimeProc::open_segment(SpaceId s, const std::string& protocol) {
+  if (cur_seg_.size() <= s) cur_seg_.resize(s + 1, 0);
+  cur_seg_[s] = static_cast<std::uint32_t>(segs_.size());
+  segs_.push_back({s, protocol, {}, 0, 0});
+}
+
+DsmStats RuntimeProc::dstats_total() const {
+  DsmStats t;
+  for (const obs::SpaceMetrics& seg : segs_) t.merge(seg.dsm);
+  return t;
+}
+
+void RuntimeProc::reset_metrics() {
+  for (obs::SpaceMetrics& seg : segs_) {
+    seg.dsm = DsmStats{};
+    seg.msgs = 0;
+    seg.bytes = 0;
+  }
+}
+
 Protocol& RuntimeProc::protocol_of(Region& r) {
   return space(r.space()).protocol();
 }
@@ -159,6 +178,7 @@ SpaceId RuntimeProc::new_space(const std::string& protocol) {
   // Collective by construction: every processor executes the same sequence
   // of Ace_NewSpace calls (SPMD), so ids agree machine-wide.
   const auto id = static_cast<SpaceId>(spaces_.size());
+  open_segment(id, protocol);
   spaces_.push_back(std::make_unique<Space>(
       id, protocol, rt_.registry().create(protocol, *this, id)));
   spaces_.back()->protocol().init(*spaces_.back());
@@ -167,6 +187,7 @@ SpaceId RuntimeProc::new_space(const std::string& protocol) {
 
 void RuntimeProc::change_protocol(SpaceId s, const std::string& protocol) {
   Space& sp = space(s);
+  const std::uint64_t t0 = proc_.vclock_ns();
   // Quiesce: every processor reaches the change point before anyone flushes.
   proc_.barrier();
   sp.protocol().flush(sp);
@@ -181,15 +202,19 @@ void RuntimeProc::change_protocol(SpaceId s, const std::string& protocol) {
     ACE_CHECK_MSG(!r.lock || !r.lock->held, "ChangeProtocol with a held lock");
     r.reset_protocol_state();
   });
+  // Flush traffic above was charged to the outgoing protocol's segment; the
+  // incoming protocol gets a fresh one.
+  open_segment(s, protocol);
   sp.set_protocol(protocol, rt_.registry().create(protocol, *this, s));
   sp.protocol().init(sp);
   proc_.barrier();
+  proc_.trace(obs::EventKind::kChangeProtocol, t0, s);
 }
 
 RegionId RuntimeProc::gmalloc(SpaceId s, std::uint32_t size) {
   ACE_CHECK_MSG(size > 0, "Ace_GMalloc of zero bytes");
   space(s);  // validates the space id
-  dstats_.gmallocs += 1;
+  dstats(s).gmallocs += 1;
   const RegionId id = dsm::make_region_id(me(), next_seq_++);
   Region& r = regions_.create_home(id, size, s);
   r.data();  // allocate the master copy eagerly: handlers serve it unmapped
@@ -199,7 +224,7 @@ RegionId RuntimeProc::gmalloc(SpaceId s, std::uint32_t size) {
 
 void* RuntimeProc::map(RegionId id) {
   proc_.poll();  // CRL's discipline: service requests at protocol entry
-  dstats_.maps += 1;
+  const std::uint64_t t0 = proc_.vclock_ns();
   proc_.charge(cost().map_fast_ns);
   Region* r = mapper_.lookup(id);
   if (r == nullptr) {
@@ -208,50 +233,63 @@ void* RuntimeProc::map(RegionId id) {
     mapper_.remember(id, r);
   }
   if (!r->meta_valid()) {
-    dstats_.map_meta_misses += 1;
     blocking_request(*r, [&] {
       proc_.send(dsm::region_home(id), rt_.h_map_req_, {id});
     });
+    // The region's space is known only now that metadata arrived; attribute
+    // the miss and its request message retroactively.
+    dstats(r->space()).map_meta_misses += 1;
+    note_space_msg(r->space(), 0);
   }
+  dstats(r->space()).maps += 1;
   void* p = r->data();
   r->map_count += 1;
   protocol_of(*r).mapped(*r);
+  proc_.trace(obs::EventKind::kMap, t0, r->space(), id);
   return p;
 }
 
 void RuntimeProc::unmap(void* mapped) {
   Region& r = region_of(mapped);
   ACE_CHECK_MSG(r.map_count > 0, "ACE_UNMAP without a matching ACE_MAP");
-  dstats_.unmaps += 1;
+  const std::uint64_t t0 = proc_.vclock_ns();
+  dstats(r.space()).unmaps += 1;
   proc_.charge(cost().op_hit_ns);
   r.map_count -= 1;
   protocol_of(r).unmapped(r);
+  proc_.trace(obs::EventKind::kUnmap, t0, r.space(), r.id());
 }
 
 void RuntimeProc::start_read(void* mapped) {
   proc_.poll();
   Region& r = region_of(mapped);
-  dstats_.start_reads += 1;
+  const std::uint64_t t0 = proc_.vclock_ns();
+  dstats(r.space()).start_reads += 1;
   proc_.charge(cost().dispatch_ns + cost().op_hit_ns);
   protocol_of(r).start_read(r);
   r.active_readers += 1;
+  proc_.trace(obs::EventKind::kStartRead, t0, r.space(), r.id());
 }
 
 void RuntimeProc::end_read(void* mapped) {
   Region& r = region_of(mapped);
   ACE_CHECK_MSG(r.active_readers > 0, "ACE_END_READ without start");
+  const std::uint64_t t0 = proc_.vclock_ns();
   proc_.charge(cost().dispatch_ns + cost().op_hit_ns);
   r.active_readers -= 1;
   protocol_of(r).end_read(r);
+  proc_.trace(obs::EventKind::kEndRead, t0, r.space(), r.id());
 }
 
 void RuntimeProc::start_write(void* mapped) {
   proc_.poll();
   Region& r = region_of(mapped);
-  dstats_.start_writes += 1;
+  const std::uint64_t t0 = proc_.vclock_ns();
+  dstats(r.space()).start_writes += 1;
   proc_.charge(cost().dispatch_ns + cost().op_hit_ns);
   protocol_of(r).start_write(r);
   r.active_writers += 1;
+  proc_.trace(obs::EventKind::kStartWrite, t0, r.space(), r.id());
 }
 
 void RuntimeProc::end_write(void* mapped) {
@@ -260,60 +298,76 @@ void RuntimeProc::end_write(void* mapped) {
   // read/write merging applied (ProtocolInfo::merge_rw, §4.2 footnote 1).
   ACE_CHECK_MSG(r.active_writers > 0 || r.active_readers > 0,
                 "ACE_END_WRITE without start");
+  const std::uint64_t t0 = proc_.vclock_ns();
   proc_.charge(cost().dispatch_ns + cost().op_hit_ns);
   if (r.active_writers > 0)
     r.active_writers -= 1;
   else
     r.active_readers -= 1;
   protocol_of(r).end_write(r);
+  proc_.trace(obs::EventKind::kEndWrite, t0, r.space(), r.id());
 }
 
 void RuntimeProc::start_read_direct(Region& r, Protocol& proto) {
-  dstats_.start_reads += 1;
+  const std::uint64_t t0 = proc_.vclock_ns();
+  dstats(r.space()).start_reads += 1;
   proc_.charge(cost().direct_call_ns + cost().op_hit_ns);
   proto.start_read(r);
   r.active_readers += 1;
+  proc_.trace(obs::EventKind::kStartRead, t0, r.space(), r.id());
 }
 
 void RuntimeProc::end_read_direct(Region& r, Protocol& proto) {
   ACE_CHECK_MSG(r.active_readers > 0, "direct END_READ without start");
+  const std::uint64_t t0 = proc_.vclock_ns();
   proc_.charge(cost().direct_call_ns + cost().op_hit_ns);
   r.active_readers -= 1;
   proto.end_read(r);
+  proc_.trace(obs::EventKind::kEndRead, t0, r.space(), r.id());
 }
 
 void RuntimeProc::start_write_direct(Region& r, Protocol& proto) {
-  dstats_.start_writes += 1;
+  const std::uint64_t t0 = proc_.vclock_ns();
+  dstats(r.space()).start_writes += 1;
   proc_.charge(cost().direct_call_ns + cost().op_hit_ns);
   proto.start_write(r);
   r.active_writers += 1;
+  proc_.trace(obs::EventKind::kStartWrite, t0, r.space(), r.id());
 }
 
 void RuntimeProc::end_write_direct(Region& r, Protocol& proto) {
   ACE_CHECK_MSG(r.active_writers > 0, "direct END_WRITE without start");
+  const std::uint64_t t0 = proc_.vclock_ns();
   proc_.charge(cost().direct_call_ns + cost().op_hit_ns);
   r.active_writers -= 1;
   proto.end_write(r);
+  proc_.trace(obs::EventKind::kEndWrite, t0, r.space(), r.id());
 }
 
 void RuntimeProc::ace_barrier(SpaceId s) {
-  dstats_.barriers += 1;
+  const std::uint64_t t0 = proc_.vclock_ns();
+  dstats(s).barriers += 1;
   proc_.charge(cost().dispatch_ns);
   space(s).protocol().barrier();
+  proc_.trace(obs::EventKind::kAceBarrier, t0, s);
 }
 
 void RuntimeProc::ace_lock(void* mapped) {
   Region& r = region_of(mapped);
-  dstats_.locks += 1;
+  const std::uint64_t t0 = proc_.vclock_ns();
+  dstats(r.space()).locks += 1;
   proc_.charge(cost().dispatch_ns);
   protocol_of(r).lock(r);
+  proc_.trace(obs::EventKind::kLock, t0, r.space(), r.id());
 }
 
 void RuntimeProc::ace_unlock(void* mapped) {
   Region& r = region_of(mapped);
-  dstats_.unlocks += 1;
+  const std::uint64_t t0 = proc_.vclock_ns();
+  dstats(r.space()).unlocks += 1;
   proc_.charge(cost().dispatch_ns);
   protocol_of(r).unlock(r);
+  proc_.trace(obs::EventKind::kUnlock, t0, r.space(), r.id());
 }
 
 // --- system default lock (home-side queue) --------------------------------
@@ -323,10 +377,12 @@ void RuntimeProc::lock_grant_local(Region& r, ProcId requester) {
   if (!ls.held) {
     ls.held = true;
     ls.holder = requester;
-    if (requester == me())
+    if (requester == me()) {
       r.op_done = true;
-    else
+    } else {
+      note_space_msg(r.space(), 0);
       proc_.send(requester, rt_.h_lock_grant_, {r.id()});
+    }
   } else {
     ls.waiters.push_back(requester);
   }
@@ -342,10 +398,12 @@ void RuntimeProc::lock_release_local(Region& r, ProcId from) {
     const ProcId next = ls.waiters.front();
     ls.waiters.pop_front();
     ls.holder = next;
-    if (next == me())
+    if (next == me()) {
       r.op_done = true;
-    else
+    } else {
+      note_space_msg(r.space(), 0);
       proc_.send(next, rt_.h_lock_grant_, {r.id()});
+    }
   }
 }
 
@@ -355,21 +413,26 @@ void RuntimeProc::sys_lock(Region& r) {
     lock_grant_local(r, me());
     proc_.wait_until([&r] { return r.op_done; });
   } else {
-    blocking_request(
-        r, [&] { proc_.send(r.home_proc(), rt_.h_lock_req_, {r.id()}); });
+    blocking_request(r, [&] {
+      note_space_msg(r.space(), 0);
+      proc_.send(r.home_proc(), rt_.h_lock_req_, {r.id()});
+    });
   }
 }
 
 void RuntimeProc::sys_unlock(Region& r) {
-  if (r.is_home())
+  if (r.is_home()) {
     lock_release_local(r, me());
-  else
+  } else {
+    note_space_msg(r.space(), 0);
     proc_.send(r.home_proc(), rt_.h_unlock_, {r.id()});
+  }
 }
 
 void RuntimeProc::handle_map_req(am::Message& m) {
   Region* r = find_region(m.args[0]);
   ACE_CHECK_MSG(r != nullptr && r->is_home(), "MAP_REQ for unknown region");
+  note_space_msg(r->space(), 0);
   proc_.send(m.src, rt_.h_map_ack_, {r->id(), r->size(), r->space()});
 }
 
@@ -393,6 +456,7 @@ void RuntimeProc::send_proto(ProcId dst, RegionId region, std::uint32_t op,
   Region* r = find_region(region);
   ACE_CHECK_MSG(r != nullptr && r->meta_valid(),
                 "send_proto on a region without local metadata");
+  note_space_msg(r->space(), payload.size());
   proc_.send(dst, rt_.h_proto_, {region, op, r->space(), a, b},
              std::move(payload));
 }

@@ -19,41 +19,20 @@
 #include "am/machine.hpp"
 #include "dsm/mapper.hpp"
 #include "dsm/region.hpp"
+#include "obs/metrics.hpp"
 
 namespace ace {
 
 using dsm::Region;
 using dsm::RegionId;
 using am::ProcId;
-using SpaceId = std::uint32_t;
+// SpaceId and DsmStats live in obs/metrics.hpp (the bottom of the
+// observability layer) so the bench harness can consume per-space metrics
+// without pulling in the whole runtime.
 
 /// The default space (sequentially consistent invalidation protocol),
 /// available without any Ace_NewSpace call (§3.1).
 inline constexpr SpaceId kDefaultSpace = 0;
-
-/// DSM-level operation counters, per processor.  These are the quantities
-/// the paper's protocols trade against each other; the bench harnesses print
-/// them next to modeled/wall time.
-struct DsmStats {
-  std::uint64_t gmallocs = 0;
-  std::uint64_t maps = 0;
-  std::uint64_t map_meta_misses = 0;
-  std::uint64_t unmaps = 0;
-  std::uint64_t start_reads = 0;
-  std::uint64_t read_misses = 0;
-  std::uint64_t start_writes = 0;
-  std::uint64_t write_misses = 0;
-  std::uint64_t barriers = 0;
-  std::uint64_t locks = 0;
-  std::uint64_t unlocks = 0;
-  std::uint64_t invalidations = 0;  ///< INV messages sent (home side)
-  std::uint64_t recalls = 0;        ///< owner recalls issued (home side)
-  std::uint64_t updates = 0;        ///< update/push data messages sent
-  std::uint64_t fetches = 0;        ///< data fetch replies served (home side)
-  std::uint64_t flushes = 0;        ///< regions flushed by ChangeProtocol
-
-  void merge(const DsmStats& o);
-};
 
 /// A space: the indirection between data structures and protocols (§2.2).
 /// Holds this processor's protocol instance for the space.
@@ -102,6 +81,10 @@ class RuntimeProc {
   void start_write(void* mapped);
   void end_write(void* mapped);
 
+  /// Feed application compute into the virtual clock (apps charge their
+  /// work per unit so modeled time has a realistic compute/comm ratio).
+  void charge_compute(std::uint64_t ns) { proc_.charge(ns); }
+
   // --- direct-call variants (the compiler's "Avoiding Dispatching
   // Overhead" optimization, §4.2: dispatch replaced by a direct call to the
   // unique protocol's routine).  The caller has already resolved `proto`.
@@ -122,7 +105,30 @@ class RuntimeProc {
   ProcId me() const;
   std::uint32_t nprocs() const;
   const am::CostModel& cost() const;
-  DsmStats& dstats() { return dstats_; }
+
+  /// DSM op counters for the space's *current* (space, protocol) segment.
+  /// Protocols charge their own space: `rp_.dstats(space_id_).updates += 1`.
+  DsmStats& dstats(SpaceId s) { return smetrics(s).dsm; }
+  /// The space's current counter segment (opened by Ace_NewSpace, re-opened
+  /// by Ace_ChangeProtocol).
+  obs::SpaceMetrics& smetrics(SpaceId s);
+  /// Attribute one sent active message (and its payload bytes) to a space.
+  void note_space_msg(SpaceId s, std::uint64_t bytes) {
+    obs::SpaceMetrics& m = smetrics(s);
+    m.msgs += 1;
+    m.bytes += bytes;
+  }
+  /// This processor's DSM counters summed over every (space, protocol)
+  /// segment — the old machine-wide view.
+  DsmStats dstats_total() const;
+  /// All of this processor's counter segments, in creation order.
+  const std::vector<obs::SpaceMetrics>& metric_segments() const {
+    return segs_;
+  }
+  /// Zero every counter segment (keeps the segment structure).  Benches use
+  /// this to exclude setup traffic, next to Machine::reset_stats().
+  void reset_metrics();
+
   Space& space(SpaceId s);
   dsm::RegionSet& regions() { return regions_; }
 
@@ -166,6 +172,8 @@ class RuntimeProc {
   void handle_unlock(am::Message& m);
   void lock_grant_local(Region& r, ProcId requester);
   void lock_release_local(Region& r, ProcId from);
+  /// Open a fresh (space, protocol) counter segment for `s`.
+  void open_segment(SpaceId s, const std::string& protocol);
 
   Runtime& rt_;
   am::Proc& proc_;
@@ -173,7 +181,10 @@ class RuntimeProc {
   dsm::FastMapper mapper_;
   std::vector<std::unique_ptr<Space>> spaces_;
   std::uint64_t next_seq_ = 1;
-  DsmStats dstats_;
+  // Per-(space, protocol) counter segments; cur_seg_[space] indexes the
+  // space's open segment.  See obs/metrics.hpp.
+  std::vector<obs::SpaceMetrics> segs_;
+  std::vector<std::uint32_t> cur_seg_;
 
   // Collective scratch state (one outstanding collective at a time).
   struct Collective {
@@ -202,7 +213,14 @@ class Runtime {
   /// The RuntimeProc bound to the calling thread (valid inside run()).
   static RuntimeProc& cur();
 
+  /// Machine-wide DSM counters (all spaces, all processors).
   DsmStats aggregate_dstats() const;
+  /// Per-(space, protocol) counters merged across processors, in
+  /// first-creation order.  The bench harness serializes these rows into
+  /// BENCH_<name>.json.
+  std::vector<obs::SpaceMetrics> aggregate_space_metrics() const;
+  /// Zero every processor's counter segments (see RuntimeProc::reset_metrics).
+  void reset_metrics();
 
  private:
   friend class RuntimeProc;

@@ -17,11 +17,28 @@
 // Guards make the paper's "full access control" impossible to misuse: the
 // after-access hook always runs, which is exactly the capability access-fault
 // schemes cannot express (§2.1's dynamic-update example).
+//
+// Guards are movable (the moved-from guard becomes null and its destructor
+// does nothing), so access sections can be returned from helpers, stored in
+// containers, or ended early with `g = {}`.  The idiomatic way to open one
+// is the factory on the pointer itself:
+//
+//   auto g = cell.write();   // global_ptr<T>::write() -> WriteGuard<T>
+//   g->value += 1;           // ends at scope exit
 #pragma once
+
+#include <utility>
 
 #include "ace/runtime.hpp"
 
 namespace ace {
+
+template <class T>
+class ReadGuard;
+template <class T>
+class WriteGuard;
+template <class T>
+class LockGuard;
 
 template <class T>
 class global_ptr {
@@ -34,6 +51,12 @@ class global_ptr {
 
   RegionId id() const { return id_; }
   bool null() const { return id_ == dsm::kInvalidRegion; }
+
+  /// Open an access section on this region (map + start_read/start_write).
+  ReadGuard<T> read() const { return ReadGuard<T>(*this); }
+  WriteGuard<T> write() const { return WriteGuard<T>(*this); }
+  /// Take the region's system/protocol lock for the guard's lifetime.
+  LockGuard<T> lock() const { return LockGuard<T>(*this); }
 
   friend bool operator==(global_ptr a, global_ptr b) { return a.id_ == b.id_; }
 
@@ -51,16 +74,27 @@ global_ptr<T> gmalloc(SpaceId space, std::uint32_t count = 1) {
 template <class T>
 class ReadGuard {
  public:
+  ReadGuard() = default;
   explicit ReadGuard(global_ptr<T> p) : rp_(&Runtime::cur()) {
     data_ = static_cast<const T*>(rp_->map(p.id()));
     rp_->start_read(const_cast<T*>(data_));
   }
-  ~ReadGuard() {
-    rp_->end_read(const_cast<T*>(data_));
-    rp_->unmap(const_cast<T*>(data_));
-  }
+  ~ReadGuard() { release(); }
   ReadGuard(const ReadGuard&) = delete;
   ReadGuard& operator=(const ReadGuard&) = delete;
+  ReadGuard(ReadGuard&& o) noexcept
+      : rp_(std::exchange(o.rp_, nullptr)),
+        data_(std::exchange(o.data_, nullptr)) {}
+  ReadGuard& operator=(ReadGuard&& o) noexcept {
+    if (this != &o) {
+      release();
+      rp_ = std::exchange(o.rp_, nullptr);
+      data_ = std::exchange(o.data_, nullptr);
+    }
+    return *this;
+  }
+
+  explicit operator bool() const { return data_ != nullptr; }
 
   const T& operator*() const { return data_[0]; }
   const T* operator->() const { return data_; }
@@ -72,23 +106,41 @@ class ReadGuard {
   const T* get() const { return data_; }
 
  private:
-  RuntimeProc* rp_;
-  const T* data_;
+  void release() {
+    if (data_ == nullptr) return;
+    rp_->end_read(const_cast<T*>(data_));
+    rp_->unmap(const_cast<T*>(data_));
+    data_ = nullptr;
+  }
+
+  RuntimeProc* rp_ = nullptr;
+  const T* data_ = nullptr;
 };
 
 template <class T>
 class WriteGuard {
  public:
+  WriteGuard() = default;
   explicit WriteGuard(global_ptr<T> p) : rp_(&Runtime::cur()) {
     data_ = static_cast<T*>(rp_->map(p.id()));
     rp_->start_write(data_);
   }
-  ~WriteGuard() {
-    rp_->end_write(data_);
-    rp_->unmap(data_);
-  }
+  ~WriteGuard() { release(); }
   WriteGuard(const WriteGuard&) = delete;
   WriteGuard& operator=(const WriteGuard&) = delete;
+  WriteGuard(WriteGuard&& o) noexcept
+      : rp_(std::exchange(o.rp_, nullptr)),
+        data_(std::exchange(o.data_, nullptr)) {}
+  WriteGuard& operator=(WriteGuard&& o) noexcept {
+    if (this != &o) {
+      release();
+      rp_ = std::exchange(o.rp_, nullptr);
+      data_ = std::exchange(o.data_, nullptr);
+    }
+    return *this;
+  }
+
+  explicit operator bool() const { return data_ != nullptr; }
 
   T& operator*() const { return data_[0]; }
   T* operator->() const { return data_; }
@@ -99,28 +151,53 @@ class WriteGuard {
   T* get() const { return data_; }
 
  private:
-  RuntimeProc* rp_;
-  T* data_;
+  void release() {
+    if (data_ == nullptr) return;
+    rp_->end_write(data_);
+    rp_->unmap(data_);
+    data_ = nullptr;
+  }
+
+  RuntimeProc* rp_ = nullptr;
+  T* data_ = nullptr;
 };
 
 /// RAII lock guard over the system/protocol lock of a region.
 template <class T>
 class LockGuard {
  public:
+  LockGuard() = default;
   explicit LockGuard(global_ptr<T> p) : rp_(&Runtime::cur()) {
     mapped_ = rp_->map(p.id());
     rp_->ace_lock(mapped_);
   }
-  ~LockGuard() {
-    rp_->ace_unlock(mapped_);
-    rp_->unmap(mapped_);
-  }
+  ~LockGuard() { release(); }
   LockGuard(const LockGuard&) = delete;
   LockGuard& operator=(const LockGuard&) = delete;
+  LockGuard(LockGuard&& o) noexcept
+      : rp_(std::exchange(o.rp_, nullptr)),
+        mapped_(std::exchange(o.mapped_, nullptr)) {}
+  LockGuard& operator=(LockGuard&& o) noexcept {
+    if (this != &o) {
+      release();
+      rp_ = std::exchange(o.rp_, nullptr);
+      mapped_ = std::exchange(o.mapped_, nullptr);
+    }
+    return *this;
+  }
+
+  explicit operator bool() const { return mapped_ != nullptr; }
 
  private:
-  RuntimeProc* rp_;
-  void* mapped_;
+  void release() {
+    if (mapped_ == nullptr) return;
+    rp_->ace_unlock(mapped_);
+    rp_->unmap(mapped_);
+    mapped_ = nullptr;
+  }
+
+  RuntimeProc* rp_ = nullptr;
+  void* mapped_ = nullptr;
 };
 
 }  // namespace ace

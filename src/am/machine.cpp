@@ -20,6 +20,7 @@ void Proc::send(ProcId dst, HandlerId handler, std::array<std::uint64_t, 6> args
     charge(machine_->cost().message_cost_sender(bytes));
   stats_.msgs_sent += 1;
   stats_.bytes_sent += bytes;
+  trace(obs::EventKind::kAmSend, vclock_ns_, obs::kNoSpace, dst, bytes);
 
   Message m;
   m.handler = handler;
@@ -59,11 +60,14 @@ std::size_t Proc::poll() {
     // every blocking wait) and clocks are joined at barriers, which is where
     // SPMD programs actually synchronize.  Barrier traffic rides the CM-5's
     // control network and charges nothing.
+    const std::uint64_t t0 = vclock_ns_;
     if (!machine_->is_barrier_handler(m.handler))
       vclock_ns_ += cost.handler_dispatch_ns;
     stats_.msgs_received += 1;
     ACE_DCHECK(m.handler < machine_->handlers_.size());
     machine_->handlers_[m.handler](*this, m);
+    trace(obs::EventKind::kAmDispatch, t0, obs::kNoSpace, m.src,
+          static_cast<std::uint64_t>(m.payload.size()));
   }
   return batch.size();
 }
@@ -87,6 +91,7 @@ void Proc::wait_for_mail() {
 
 void Proc::barrier() {
   stats_.barriers += 1;
+  const std::uint64_t t0 = vclock_ns_;
   const std::uint32_t epoch = barrier_epoch_;
   if (id_ == 0) {
     // Count self, wait for the other P-1 arrivals, then release everyone.
@@ -107,6 +112,7 @@ void Proc::barrier() {
     vclock_ns_ = std::max(vclock_ns_, barrier_release_vtime_);
   }
   barrier_epoch_ = epoch + 1;
+  trace(obs::EventKind::kBarrierWait, t0, obs::kNoSpace, epoch);
 }
 
 Machine::Machine(std::uint32_t nprocs, CostModel cost) : cost_(cost) {
@@ -186,6 +192,32 @@ void Machine::reset_stats() {
     p->stats_ = Stats{};
     p->vclock_ns_ = 0;
   }
+}
+
+void Machine::enable_tracing(std::size_t events_per_proc) {
+  ACE_CHECK_MSG(!running_, "enable_tracing during Machine::run");
+  rings_.clear();
+  for (auto& p : procs_) {
+    rings_.push_back(std::make_unique<obs::TraceRing>(events_per_proc));
+    p->trace_ = rings_.back().get();
+  }
+}
+
+void Machine::disable_tracing() {
+  ACE_CHECK_MSG(!running_, "disable_tracing during Machine::run");
+  for (auto& p : procs_) p->trace_ = nullptr;
+  rings_.clear();
+}
+
+std::vector<obs::ProcTrace> Machine::traces() const {
+  std::vector<obs::ProcTrace> out;
+  for (std::size_t p = 0; p < rings_.size(); ++p)
+    out.push_back({static_cast<std::uint32_t>(p), rings_[p].get()});
+  return out;
+}
+
+bool Machine::write_trace(const std::string& path) const {
+  return obs::write_chrome_trace(path, traces());
 }
 
 }  // namespace ace::am

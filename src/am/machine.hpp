@@ -30,6 +30,7 @@
 #include "am/stats.hpp"
 #include "common/align.hpp"
 #include "common/check.hpp"
+#include "obs/trace.hpp"
 
 namespace ace::am {
 
@@ -81,6 +82,24 @@ class Proc {
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
 
+  /// Record a trace event spanning virtual time [t0, now].  Costs one
+  /// branch when tracing is off; compiled out under ACE_OBS_TRACE=0.
+  /// Never charges the virtual clock — tracing must not perturb modeled
+  /// time (see obs/trace.hpp).
+  void trace(obs::EventKind kind, std::uint64_t t0,
+             std::uint32_t space = obs::kNoSpace, std::uint64_t arg0 = 0,
+             std::uint64_t arg1 = 0) {
+#if ACE_OBS_TRACE
+    if (trace_ != nullptr)
+      trace_->record({t0, vclock_ns_ - t0, kind, space, arg0, arg1});
+#else
+    (void)kind; (void)t0; (void)space; (void)arg0; (void)arg1;
+#endif
+  }
+
+  /// This processor's event ring; nullptr unless Machine::enable_tracing.
+  obs::TraceRing* trace_ring() const { return trace_; }
+
   /// Per-layer attachment points (the Ace runtime, the CRL runtime, apps).
   void* ctx(CtxSlot slot) const { return ctx_[slot]; }
   void set_ctx(CtxSlot slot, void* p) { ctx_[slot] = p; }
@@ -100,6 +119,7 @@ class Proc {
   ProcId id_ = 0;
   std::uint64_t vclock_ns_ = 0;
   Stats stats_;
+  obs::TraceRing* trace_ = nullptr;
   void* ctx_[kCtxSlots] = {};
 
   // Barrier bookkeeping (centralized at proc 0; see machine.cpp).
@@ -140,6 +160,17 @@ class Machine {
   std::uint64_t max_vclock_ns() const;
   void reset_stats();
 
+  // --- observability (ace::obs) -----------------------------------------
+  /// Allocate per-processor event rings and start recording.  May be called
+  /// before or between run()s; rings persist until disable_tracing().
+  void enable_tracing(std::size_t events_per_proc = 1u << 16);
+  void disable_tracing();
+  bool tracing() const { return !rings_.empty(); }
+  /// The per-processor rings, labeled for obs::write_chrome_trace.
+  std::vector<obs::ProcTrace> traces() const;
+  /// Convenience: export the recorded trace as Chrome trace-event JSON.
+  bool write_trace(const std::string& path) const;
+
   /// Barrier traffic models the CM-5's dedicated control network: it is
   /// counted in message statistics but charges no data-network time.
   bool is_barrier_handler(HandlerId h) const {
@@ -155,6 +186,7 @@ class Machine {
 
   CostModel cost_;
   std::vector<std::unique_ptr<Proc>> procs_;
+  std::vector<std::unique_ptr<obs::TraceRing>> rings_;
   std::vector<Handler> handlers_;
   HandlerId barrier_arrive_ = 0;
   HandlerId barrier_release_ = 0;

@@ -48,6 +48,8 @@ class AceApi {
   void start_write(void* p) { rp_.start_write(p); }
   void end_write(void* p) { rp_.end_write(p); }
   void barrier(std::uint32_t space) { rp_.ace_barrier(space); }
+  void lock(void* p) { rp_.ace_lock(p); }
+  void unlock(void* p) { rp_.ace_unlock(p); }
 
   RegionId bcast_region(RegionId id, ProcId root) {
     return rp_.bcast_region(id, root);
@@ -57,7 +59,7 @@ class AceApi {
   }
   double allreduce_sum(double v) { return rp_.allreduce_sum(v); }
   std::uint64_t allreduce_min(std::uint64_t v) { return rp_.allreduce_min(v); }
-  void charge_compute(std::uint64_t ns) { rp_.proc().charge(ns); }
+  void charge_compute(std::uint64_t ns) { rp_.charge_compute(ns); }
 
   ace::RuntimeProc& runtime_proc() { return rp_; }
 
@@ -85,6 +87,10 @@ class CrlApi {
   void start_write(void* p) { cp_.start_write(p); }
   void end_write(void* p) { cp_.end_write(p); }
   void barrier(std::uint32_t) { cp_.barrier(); }
+  // CRL has no queue locks; the textual port (§5.1) expresses mutual
+  // exclusion as an exclusive write section on the region.
+  void lock(void* p) { cp_.start_write(p); }
+  void unlock(void* p) { cp_.end_write(p); }
 
   RegionId bcast_region(RegionId id, ProcId root) {
     return cp_.bcast_region(id, root);
@@ -94,7 +100,7 @@ class CrlApi {
   }
   double allreduce_sum(double v) { return cp_.allreduce_sum(v); }
   std::uint64_t allreduce_min(std::uint64_t v) { return cp_.allreduce_min(v); }
-  void charge_compute(std::uint64_t ns) { cp_.proc().charge(ns); }
+  void charge_compute(std::uint64_t ns) { cp_.charge_compute(ns); }
 
   crl::CrlProc& crl_proc() { return cp_; }
 

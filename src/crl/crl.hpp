@@ -79,6 +79,10 @@ class CrlProc {
   double allreduce_sum(double v);
   std::uint64_t allreduce_min(std::uint64_t v);
 
+  /// Feed application compute into the virtual clock (mirrors
+  /// ace::RuntimeProc::charge_compute so apps::CrlApi stays a pure forward).
+  void charge_compute(std::uint64_t ns) { proc_.charge(ns); }
+
   Proc& proc() { return proc_; }
   ProcId me() const { return proc_.id(); }
   std::uint32_t nprocs() const { return proc_.nprocs(); }

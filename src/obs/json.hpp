@@ -1,0 +1,133 @@
+// A minimal streaming JSON writer.
+//
+// Both observability exports — Chrome trace files and the bench harness's
+// BENCH_<name>.json results — are built with this writer instead of
+// hand-concatenated strings, so escaping and comma placement are correct by
+// construction.  Output is deterministic (keys appear in insertion order)
+// and locale-independent, which keeps result files diffable across runs.
+#pragma once
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ace::obs {
+
+class JsonWriter {
+ public:
+  void begin_object() { open('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { open('['); }
+  void end_array() { close(']'); }
+
+  /// Object key; must be followed by exactly one value/begin_*.
+  void key(const std::string& k) {
+    comma();
+    append_string(k);
+    out_ += ':';
+    pending_key_ = true;
+  }
+
+  void value(const std::string& v) { scalar([&] { append_string(v); }); }
+  void value(const char* v) { value(std::string(v)); }
+  void value(bool v) { scalar([&] { out_ += v ? "true" : "false"; }); }
+  void value(std::uint64_t v) {
+    scalar([&] {
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+      out_ += buf;
+    });
+  }
+  void value(int v) { value(static_cast<std::uint64_t>(v)); }
+  void value(double v) {
+    scalar([&] {
+      // JSON has no NaN/Inf; clamp to null (should not occur in results).
+      if (!std::isfinite(v)) {
+        out_ += "null";
+        return;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.9g", v);
+      out_ += buf;
+    });
+  }
+
+  /// Shorthand for `key(k); value(v);`.
+  template <class V>
+  void kv(const std::string& k, V&& v) {
+    key(k);
+    value(std::forward<V>(v));
+  }
+
+  /// Finish and take the document.  All containers must be closed.
+  std::string str() && {
+    ACE_CHECK_MSG(stack_.empty(), "JsonWriter: unclosed object/array");
+    return std::move(out_);
+  }
+
+ private:
+  template <class Fn>
+  void scalar(Fn&& emit) {
+    comma();
+    emit();
+    after_value();
+  }
+
+  void open(char c) {
+    comma();
+    out_ += c;
+    stack_.push_back(c);
+    first_ = true;
+    pending_key_ = false;
+  }
+
+  void close(char c) {
+    ACE_CHECK_MSG(!stack_.empty() && ((c == '}') == (stack_.back() == '{')),
+                  "JsonWriter: mismatched close");
+    stack_.pop_back();
+    out_ += c;
+    first_ = false;
+  }
+
+  void comma() {
+    if (pending_key_) return;  // value directly follows its key
+    if (!stack_.empty() && !first_) out_ += ',';
+    first_ = false;
+  }
+
+  void after_value() { pending_key_ = false; }
+
+  void append_string(const std::string& s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<char> stack_;
+  bool first_ = true;
+  bool pending_key_ = false;
+};
+
+}  // namespace ace::obs

@@ -1,0 +1,45 @@
+#include "obs/metrics.hpp"
+
+namespace ace {
+
+void DsmStats::merge(const DsmStats& o) {
+  gmallocs += o.gmallocs;
+  maps += o.maps;
+  map_meta_misses += o.map_meta_misses;
+  unmaps += o.unmaps;
+  start_reads += o.start_reads;
+  read_misses += o.read_misses;
+  start_writes += o.start_writes;
+  write_misses += o.write_misses;
+  barriers += o.barriers;
+  locks += o.locks;
+  unlocks += o.unlocks;
+  invalidations += o.invalidations;
+  recalls += o.recalls;
+  updates += o.updates;
+  fetches += o.fetches;
+  flushes += o.flushes;
+}
+
+namespace obs {
+
+std::vector<SpaceMetrics> merge_by_key(const std::vector<SpaceMetrics>& segs) {
+  std::vector<SpaceMetrics> out;
+  for (const SpaceMetrics& s : segs) {
+    SpaceMetrics* hit = nullptr;
+    for (SpaceMetrics& o : out)
+      if (o.space == s.space && o.protocol == s.protocol) {
+        hit = &o;
+        break;
+      }
+    if (hit == nullptr) {
+      out.push_back({s.space, s.protocol, {}, 0, 0});
+      hit = &out.back();
+    }
+    hit->merge_counters(s);
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace ace

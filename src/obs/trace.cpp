@@ -1,0 +1,131 @@
+#include "obs/trace.hpp"
+
+#include "obs/json.hpp"
+
+namespace ace::obs {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t c = 1;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+/// Chrome trace categories group events in the Perfetto track filter.
+const char* event_category(EventKind k) {
+  switch (k) {
+    case EventKind::kAmSend:
+    case EventKind::kAmDispatch:
+      return "am";
+    case EventKind::kBarrierWait:
+      return "sync";
+    default:
+      return "dsm";
+  }
+}
+
+}  // namespace
+
+const char* event_name(EventKind k) {
+  switch (k) {
+    case EventKind::kMap: return "map";
+    case EventKind::kUnmap: return "unmap";
+    case EventKind::kStartRead: return "start_read";
+    case EventKind::kEndRead: return "end_read";
+    case EventKind::kStartWrite: return "start_write";
+    case EventKind::kEndWrite: return "end_write";
+    case EventKind::kAceBarrier: return "ace_barrier";
+    case EventKind::kLock: return "lock";
+    case EventKind::kUnlock: return "unlock";
+    case EventKind::kChangeProtocol: return "change_protocol";
+    case EventKind::kAmSend: return "am_send";
+    case EventKind::kAmDispatch: return "am_dispatch";
+    case EventKind::kBarrierWait: return "barrier_wait";
+    case EventKind::kKindCount: break;
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(std::size_t capacity) {
+  buf_.resize(round_up_pow2(capacity < 2 ? 2 : capacity));
+  mask_ = buf_.size() - 1;
+}
+
+std::string chrome_trace_json(const std::vector<ProcTrace>& procs) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("displayTimeUnit");
+  w.value("ns");
+  w.key("traceEvents");
+  w.begin_array();
+  for (const ProcTrace& pt : procs) {
+    // Thread-name metadata so Perfetto labels each simulated processor.
+    w.begin_object();
+    w.key("ph"); w.value("M");
+    w.key("pid"); w.value(0);
+    w.key("tid"); w.value(static_cast<std::uint64_t>(pt.proc));
+    w.key("name"); w.value("thread_name");
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value("proc " + std::to_string(pt.proc));
+    w.end_object();
+    w.end_object();
+    if (pt.ring == nullptr) continue;
+    for (std::size_t i = 0; i < pt.ring->size(); ++i) {
+      const Event& e = pt.ring->at(i);
+      w.begin_object();
+      w.key("ph"); w.value("X");  // complete event; dur 0 renders as instant
+      w.key("pid"); w.value(0);
+      w.key("tid"); w.value(static_cast<std::uint64_t>(pt.proc));
+      w.key("name"); w.value(event_name(e.kind));
+      w.key("cat"); w.value(event_category(e.kind));
+      // The format's unit is microseconds; keep ns precision as a fraction.
+      w.key("ts"); w.value(static_cast<double>(e.ts_ns) / 1000.0);
+      w.key("dur"); w.value(static_cast<double>(e.dur_ns) / 1000.0);
+      w.key("args");
+      w.begin_object();
+      if (e.space != kNoSpace) {
+        w.key("space");
+        w.value(static_cast<std::uint64_t>(e.space));
+      }
+      switch (e.kind) {
+        case EventKind::kAmSend:
+          w.key("dst"); w.value(e.arg0);
+          w.key("bytes"); w.value(e.arg1);
+          break;
+        case EventKind::kAmDispatch:
+          w.key("src"); w.value(e.arg0);
+          w.key("bytes"); w.value(e.arg1);
+          break;
+        case EventKind::kBarrierWait:
+          w.key("epoch"); w.value(e.arg0);
+          break;
+        default:
+          w.key("region"); w.value(e.arg0);
+          break;
+      }
+      w.end_object();
+      w.end_object();
+    }
+  }
+  w.end_array();
+  w.end_object();
+  return std::move(w).str();
+}
+
+bool write_chrome_trace(std::FILE* out, const std::vector<ProcTrace>& procs) {
+  const std::string json = chrome_trace_json(procs);
+  return std::fwrite(json.data(), 1, json.size(), out) == json.size();
+}
+
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ProcTrace>& procs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = write_chrome_trace(f, procs);
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace ace::obs

@@ -1,0 +1,132 @@
+// Virtual-time tracing: per-processor event rings and Chrome trace export.
+//
+// The simulated machine's primary clock is the *modeled* per-processor
+// virtual clock (see am/stats.hpp).  Tracing records what each processor was
+// doing against that clock — protocol operations, active-message
+// send/dispatch, barrier waits, lock acquisitions — so a whole simulated
+// CM-5 run can be opened in Perfetto (ui.perfetto.dev) or chrome://tracing
+// and the protocol behaviour *seen*: miss stalls as long spans, update
+// pushes as instant arrows, barrier skew as staircase fronts.
+//
+// Design constraints:
+//   * recording must never perturb the experiment: events are stamped from
+//     the virtual clock but charge nothing to it, so modeled times are
+//     bit-identical with tracing on, off, or compiled out;
+//   * the hot path costs one branch when tracing is off (a null ring
+//     pointer), and nothing at all when compiled out (ACE_OBS_TRACE=0);
+//   * each ring has a single writer — the owning processor's thread — so no
+//     synchronization is needed on the record path; a fixed-capacity ring
+//     overwrites the oldest events and counts drops instead of allocating.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+// Compile-time gate: -DACE_OBS_TRACE=0 removes every trace point outright
+// (the CMake option ACE_OBS_TRACE controls this; default ON).
+#ifndef ACE_OBS_TRACE
+#define ACE_OBS_TRACE 1
+#endif
+
+namespace ace::obs {
+
+/// What happened.  The numeric values are stable (they appear in exported
+/// traces); append, don't reorder.
+enum class EventKind : std::uint8_t {
+  // DSM-level protocol operations (recorded by the Ace runtime).
+  kMap = 0,
+  kUnmap,
+  kStartRead,
+  kEndRead,
+  kStartWrite,
+  kEndWrite,
+  kAceBarrier,
+  kLock,
+  kUnlock,
+  kChangeProtocol,
+  // Transport-level events (recorded by the Active-Messages machine).
+  kAmSend,
+  kAmDispatch,
+  kBarrierWait,
+  kKindCount,
+};
+
+const char* event_name(EventKind k);
+
+/// kNoSpace marks events that are not attributable to a space (transport).
+inline constexpr std::uint32_t kNoSpace = 0xffffffffu;
+
+/// One trace record.  `ts_ns`/`dur_ns` are in *virtual* (modeled) time.
+/// The meaning of arg0/arg1 depends on the kind:
+///   DSM ops:      arg0 = region id, arg1 = 0
+///   kAmSend:      arg0 = destination proc, arg1 = payload bytes
+///   kAmDispatch:  arg0 = source proc, arg1 = payload bytes
+///   kBarrierWait: arg0 = barrier epoch, arg1 = 0
+struct Event {
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  EventKind kind = EventKind::kMap;
+  std::uint32_t space = kNoSpace;
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
+};
+
+/// Fixed-capacity single-writer event ring.  The owning processor thread is
+/// the only writer; readers (trace export) run after Machine::run returns,
+/// so the record path needs no atomics — "lock-free" the easy way.
+class TraceRing {
+ public:
+  /// Capacity is rounded up to a power of two; default 64Ki events/proc.
+  explicit TraceRing(std::size_t capacity = 1u << 16);
+
+  void record(const Event& e) {
+    buf_[head_ & mask_] = e;
+    head_ += 1;
+  }
+
+  /// Total events ever recorded (including overwritten ones).
+  std::uint64_t total() const { return head_; }
+  /// Events still held (<= capacity).
+  std::size_t size() const {
+    return head_ < buf_.size() ? static_cast<std::size_t>(head_) : buf_.size();
+  }
+  std::size_t capacity() const { return buf_.size(); }
+  /// Events lost to wraparound.
+  std::uint64_t dropped() const { return head_ - size(); }
+
+  void clear() { head_ = 0; }
+
+  /// The i-th retained event, oldest first (0 <= i < size()).
+  const Event& at(std::size_t i) const {
+    const std::uint64_t first = head_ - size();
+    return buf_[(first + i) & mask_];
+  }
+
+ private:
+  std::vector<Event> buf_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t head_ = 0;  ///< monotone event count; next write position
+};
+
+/// One processor's ring, labeled for export.
+struct ProcTrace {
+  std::uint32_t proc = 0;
+  const TraceRing* ring = nullptr;
+};
+
+/// Write the rings as Chrome trace-event JSON (the format Perfetto and
+/// chrome://tracing load).  Timestamps are virtual nanoseconds exported in
+/// microseconds (the format's unit); each simulated processor appears as a
+/// thread.  Returns false on I/O failure.
+bool write_chrome_trace(std::FILE* out, const std::vector<ProcTrace>& procs);
+
+/// Convenience: write to a file path.  Returns false on failure.
+bool write_chrome_trace(const std::string& path,
+                        const std::vector<ProcTrace>& procs);
+
+/// Render to a string (tests, in-memory consumers).
+std::string chrome_trace_json(const std::vector<ProcTrace>& procs);
+
+}  // namespace ace::obs

@@ -46,7 +46,7 @@ class SharerSet {
                    am::ProcId skip = dsm::kNoProc) const {
     for (am::ProcId p : procs_) {
       if (p == skip) continue;
-      rp.dstats().updates += 1;
+      rp.dstats(r.space()).updates += 1;
       rp.send_proto(p, r.id(), op, 0, 0, rp.snapshot(r));
     }
   }
@@ -91,7 +91,7 @@ struct EpochLog {
 /// The miss path: a requester blocks on a fetch; the home replies with the
 /// region contents.  Callers provide the two opcodes.
 inline void fetch_blocking(RuntimeProc& rp, Region& r, std::uint32_t req_op) {
-  rp.dstats().read_misses += 1;
+  rp.dstats(r.space()).read_misses += 1;
   rp.blocking_request(r,
                       [&] { rp.send_proto(r.home_proc(), r.id(), req_op); });
 }
@@ -99,7 +99,7 @@ inline void fetch_blocking(RuntimeProc& rp, Region& r, std::uint32_t req_op) {
 /// Home-side half: serve a fetch request.
 inline void fetch_serve(RuntimeProc& rp, Region& r, am::ProcId requester,
                         std::uint32_t reply_op) {
-  rp.dstats().fetches += 1;
+  rp.dstats(r.space()).fetches += 1;
   rp.send_proto(requester, r.id(), reply_op, 0, 0, rp.snapshot(r));
 }
 

@@ -51,7 +51,7 @@ void CounterProtocol::start_write(Region& r) {
   }
   ACE_CHECK_MSG(r.size() == sizeof(std::uint64_t),
                 "Counter regions hold exactly one uint64");
-  rp_.dstats().write_misses += 1;
+  rp_.dstats(space_id_).write_misses += 1;
   rp_.blocking_request(
       r, [&] { rp_.send_proto(r.home_proc(), r.id(), kFetchAdd, 1); });
   *slot = r.op_result;
@@ -64,7 +64,7 @@ void CounterProtocol::on_message(Region& r, std::uint32_t op, am::Message& m) {
       auto& cell = r.ext_as<Cell>();
       const std::uint64_t old = cell.value;
       cell.value += m.args[3];
-      rp_.dstats().fetches += 1;
+      rp_.dstats(space_id_).fetches += 1;
       rp_.send_proto(m.src, r.id(), kFetchAddReply, old);
       return;
     }

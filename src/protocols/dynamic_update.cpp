@@ -14,7 +14,7 @@ const ProtocolInfo& DynamicUpdate::static_info() {
 }
 
 void DynamicUpdate::fetch(Region& r) {
-  rp_.dstats().read_misses += 1;
+  rp_.dstats(space_id_).read_misses += 1;
   rp_.blocking_request(r,
                        [&] { rp_.send_proto(r.home_proc(), r.id(), kFetch); });
 }
@@ -34,11 +34,11 @@ void DynamicUpdate::end_write(Region& r) {
     auto& dir = r.ext_as<HomeDir>();
     r.version += 1;
     for (am::ProcId s : dir.sharers) {
-      rp_.dstats().updates += 1;
+      rp_.dstats(space_id_).updates += 1;
       rp_.send_proto(s, r.id(), kPush, 0, 0, rp_.snapshot(r));
     }
   } else {
-    rp_.dstats().updates += 1;
+    rp_.dstats(space_id_).updates += 1;
     rp_.send_proto(r.home_proc(), r.id(), kUpdate, 0, 0, rp_.snapshot(r));
   }
 }
@@ -65,7 +65,7 @@ void DynamicUpdate::on_message(Region& r, std::uint32_t op, am::Message& m) {
       if (std::find(dir.sharers.begin(), dir.sharers.end(), m.src) ==
           dir.sharers.end())
         dir.sharers.push_back(m.src);
-      rp_.dstats().fetches += 1;
+      rp_.dstats(space_id_).fetches += 1;
       rp_.send_proto(m.src, r.id(), kFetchData, 0, 0, rp_.snapshot(r));
       return;
     }
@@ -80,7 +80,7 @@ void DynamicUpdate::on_message(Region& r, std::uint32_t op, am::Message& m) {
       rp_.install_data(r, m.payload);
       for (am::ProcId s : dir.sharers) {
         if (s == m.src) continue;
-        rp_.dstats().updates += 1;
+        rp_.dstats(space_id_).updates += 1;
         rp_.send_proto(s, r.id(), kPush, 0, 0, m.payload);
       }
       return;

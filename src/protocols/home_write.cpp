@@ -12,7 +12,7 @@ const ProtocolInfo& HomeWrite::static_info() {
 
 void HomeWrite::start_read(Region& r) {
   if (r.is_home() || (r.pstate & kValid)) return;
-  rp_.dstats().read_misses += 1;
+  rp_.dstats(space_id_).read_misses += 1;
   rp_.blocking_request(r,
                        [&] { rp_.send_proto(r.home_proc(), r.id(), kFetch); });
 }
@@ -39,7 +39,7 @@ void HomeWrite::on_message(Region& r, std::uint32_t op, am::Message& m) {
   switch (static_cast<Op>(op)) {
     case kFetch:
       ACE_DCHECK(r.is_home());
-      rp_.dstats().fetches += 1;
+      rp_.dstats(space_id_).fetches += 1;
       rp_.send_proto(m.src, r.id(), kFetchData, 0, 0, rp_.snapshot(r));
       return;
     case kFetchData:

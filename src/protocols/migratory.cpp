@@ -35,7 +35,7 @@ void Migratory::acquire(Region& r) {
       if (!r.op_done) rp_.proc().charge_rtt();
       rp_.proc().wait_until([&r] { return r.op_done; });
     } else {
-      rp_.dstats().read_misses += 1;
+      rp_.dstats(space_id_).read_misses += 1;
       rp_.blocking_request(
           r, [&] { rp_.send_proto(r.home_proc(), r.id(), kAcquire); });
     }
@@ -88,14 +88,14 @@ void Migratory::serve(Region& r, am::ProcId requester) {
   }
   dir.busy = true;
   dir.requester = requester;
-  rp_.dstats().recalls += 1;
+  rp_.dstats(space_id_).recalls += 1;
   rp_.send_proto(dir.owner, r.id(), kRecall);
 }
 
 void Migratory::grant(Region& r, am::ProcId requester, bool deferred) {
   auto& dir = r.ext_as<HomeDir>();
   dir.owner = requester;
-  rp_.dstats().fetches += 1;
+  rp_.dstats(space_id_).fetches += 1;
   if (requester == rp_.me()) {
     r.pstate |= kOwned;
     r.op_done = true;
@@ -159,7 +159,7 @@ void Migratory::on_message(Region& r, std::uint32_t op, am::Message& m) {
 void Migratory::flush(Space& sp) {
   rp_.regions().for_each_in_space(sp.id(), [&](Region& r) {
     if (r.is_home() || !(r.pstate & kOwned)) return;
-    rp_.dstats().flushes += 1;
+    rp_.dstats(space_id_).flushes += 1;
     r.pstate &= ~kOwned;
     rp_.send_proto(r.home_proc(), r.id(), kMigData, 0, 0, rp_.snapshot(r));
   });

@@ -18,7 +18,7 @@ void PipelinedWrite::start_read(Region& r) {
   ACE_CHECK_MSG(!(r.pstate & kAccum),
                 "PipelinedWrite: reading a region mid-accumulation");
   if (r.pstate & kValid) return;
-  rp_.dstats().read_misses += 1;
+  rp_.dstats(space_id_).read_misses += 1;
   rp_.blocking_request(r,
                        [&] { rp_.send_proto(r.home_proc(), r.id(), kFetch); });
 }
@@ -36,7 +36,7 @@ void PipelinedWrite::end_write(Region& r) {
   if (r.is_home()) return;
   ACE_DCHECK(r.pstate & kAccum);
   r.pstate &= ~kAccum;
-  rp_.dstats().updates += 1;
+  rp_.dstats(space_id_).updates += 1;
   rp_.send_proto(r.home_proc(), r.id(), kAdd, 0, 0, rp_.snapshot(r));
 }
 
@@ -73,7 +73,7 @@ void PipelinedWrite::on_message(Region& r, std::uint32_t op, am::Message& m) {
     }
     case kFetch:
       ACE_DCHECK(r.is_home());
-      rp_.dstats().fetches += 1;
+      rp_.dstats(space_id_).fetches += 1;
       rp_.send_proto(m.src, r.id(), kFetchData, 0, 0, rp_.snapshot(r));
       return;
     case kFetchData:

@@ -45,7 +45,7 @@ void RaceCheck::start_read(Region& r) {
     return;
   }
   // Report + fetch a fresh copy; the reply carries the conflict verdict.
-  rp_.dstats().read_misses += 1;
+  rp_.dstats(space_id_).read_misses += 1;
   rp_.blocking_request(r, [&] {
     rp_.send_proto(r.home_proc(), r.id(), kReadReq, epoch_);
   });
@@ -57,7 +57,7 @@ void RaceCheck::start_write(Region& r) {
     if (record_at_home(r, rp_.me(), /*is_write=*/true, epoch_)) note_race(r);
     return;
   }
-  rp_.dstats().write_misses += 1;
+  rp_.dstats(space_id_).write_misses += 1;
   rp_.blocking_request(
       r, [&] { rp_.send_proto(r.home_proc(), r.id(), kWriteReq, epoch_); });
   if (r.op_result == 1) note_race(r);
@@ -68,7 +68,7 @@ void RaceCheck::end_write(Region& r) {
   if (r.is_home()) return;
   // The after-the-write action access-fault control cannot express (§2.1):
   // ship the completed write home.
-  rp_.dstats().updates += 1;
+  rp_.dstats(space_id_).updates += 1;
   rp_.send_proto(r.home_proc(), r.id(), kWriteBack, 0, 0, rp_.snapshot(r));
 }
 
@@ -92,7 +92,7 @@ void RaceCheck::on_message(Region& r, std::uint32_t op, am::Message& m) {
       ACE_DCHECK(r.is_home());
       const bool conflict =
           record_at_home(r, m.src, /*is_write=*/false, m.args[3]);
-      rp_.dstats().fetches += 1;
+      rp_.dstats(space_id_).fetches += 1;
       rp_.send_proto(m.src, r.id(), kReadReply, conflict ? 1 : 0, 0,
                      rp_.snapshot(r));
       return;

@@ -25,7 +25,7 @@ void ScInvalidate::start_read(Region& r) {
     return;
   }
   while (rstate(r) == kInvalid) {
-    rp_.dstats().read_misses += 1;
+    rp_.dstats(space_id_).read_misses += 1;
     rp_.blocking_request(r, [&] {
       rp_.send_proto(r.home_proc(), r.id(), kReadReq);
     });
@@ -44,7 +44,7 @@ void ScInvalidate::start_write(Region& r) {
   ACE_CHECK_MSG(rstate(r) == kModified || r.active_readers == 0,
                 "write upgrade while holding a read on the same region");
   while (rstate(r) != kModified) {
-    rp_.dstats().write_misses += 1;
+    rp_.dstats(space_id_).write_misses += 1;
     rp_.blocking_request(r, [&] {
       rp_.send_proto(r.home_proc(), r.id(), kWriteReq);
     });
@@ -123,14 +123,14 @@ void ScInvalidate::serve(Region& r, Kind kind, am::ProcId requester,
         dir.busy = true;
         dir.kind = kind;
         dir.requester = requester;
-        rp_.dstats().recalls += 1;
+        rp_.dstats(space_id_).recalls += 1;
         rp_.send_proto(dir.owner, r.id(), kRecallShared);
         return;
       }
       if (std::find(dir.sharers.begin(), dir.sharers.end(), requester) ==
           dir.sharers.end())
         dir.sharers.push_back(requester);
-      rp_.dstats().fetches += 1;
+      rp_.dstats(space_id_).fetches += 1;
       rp_.send_proto(requester, r.id(), kReadData, deferred ? 1 : 0, 0,
                      rp_.snapshot(r));
       return;
@@ -149,7 +149,7 @@ void ScInvalidate::serve(Region& r, Kind kind, am::ProcId requester,
         dir.busy = true;
         dir.kind = kind;
         dir.requester = requester;
-        rp_.dstats().recalls += 1;
+        rp_.dstats(space_id_).recalls += 1;
         rp_.send_proto(dir.owner, r.id(), kRecallExcl);
         return;
       }
@@ -164,7 +164,7 @@ void ScInvalidate::serve(Region& r, Kind kind, am::ProcId requester,
         dir.kind = kind;
         dir.requester = requester;
         dir.pending_acks = invs;
-        rp_.dstats().invalidations += invs;
+        rp_.dstats(space_id_).invalidations += invs;
         return;
       }
       grant_write(r, requester, deferred);
@@ -175,7 +175,7 @@ void ScInvalidate::serve(Region& r, Kind kind, am::ProcId requester,
         dir.busy = true;
         dir.kind = kind;
         dir.requester = requester;
-        rp_.dstats().recalls += 1;
+        rp_.dstats(space_id_).recalls += 1;
         rp_.send_proto(dir.owner, r.id(), kRecallShared);
         return;
       }
@@ -187,7 +187,7 @@ void ScInvalidate::serve(Region& r, Kind kind, am::ProcId requester,
         dir.busy = true;
         dir.kind = kind;
         dir.requester = requester;
-        rp_.dstats().recalls += 1;
+        rp_.dstats(space_id_).recalls += 1;
         rp_.send_proto(dir.owner, r.id(), kRecallExcl);
         return;
       }
@@ -196,7 +196,7 @@ void ScInvalidate::serve(Region& r, Kind kind, am::ProcId requester,
         dir.kind = kind;
         dir.requester = requester;
         dir.pending_acks = static_cast<std::uint32_t>(dir.sharers.size());
-        rp_.dstats().invalidations += dir.pending_acks;
+        rp_.dstats(space_id_).invalidations += dir.pending_acks;
         for (am::ProcId s : dir.sharers) rp_.send_proto(s, r.id(), kInv);
         return;
       }
@@ -216,7 +216,7 @@ void ScInvalidate::grant_write(Region& r, am::ProcId requester,
       dir.sharers.end();
   dir.sharers.clear();
   dir.owner = requester;
-  rp_.dstats().fetches += 1;
+  rp_.dstats(space_id_).fetches += 1;
   const std::uint64_t d = deferred ? 1 : 0;
   if (upgrade)
     rp_.send_proto(requester, r.id(), kUpgradeAck, d);
@@ -371,7 +371,7 @@ void ScInvalidate::flush(Space& sp) {
   rp_.regions().for_each_in_space(sp.id(), [&](Region& r) {
     if (r.is_home()) return;
     if (rstate(r) == kModified) {
-      rp_.dstats().flushes += 1;
+      rp_.dstats(space_id_).flushes += 1;
       rp_.send_proto(r.home_proc(), r.id(), kFlushMsg, 0, 0, rp_.snapshot(r));
     }
     r.pstate = kInvalid;

@@ -14,7 +14,7 @@ const ProtocolInfo& StaticUpdate::static_info() {
 
 void StaticUpdate::start_read(Region& r) {
   if (r.is_home() || (r.pstate & kValid)) return;
-  rp_.dstats().read_misses += 1;
+  rp_.dstats(space_id_).read_misses += 1;
   rp_.blocking_request(r,
                        [&] { rp_.send_proto(r.home_proc(), r.id(), kFetch); });
 }
@@ -39,7 +39,7 @@ void StaticUpdate::barrier() {
     if (!dir.dirty) return;
     dir.dirty = false;
     for (am::ProcId s : dir.sharers) {
-      rp_.dstats().updates += 1;
+      rp_.dstats(space_id_).updates += 1;
       rp_.send_proto(s, r.id(), kPush, 0, 0, rp_.snapshot(r));
     }
   });
@@ -60,7 +60,7 @@ void StaticUpdate::on_message(Region& r, std::uint32_t op, am::Message& m) {
       if (std::find(dir.sharers.begin(), dir.sharers.end(), m.src) ==
           dir.sharers.end())
         dir.sharers.push_back(m.src);
-      rp_.dstats().fetches += 1;
+      rp_.dstats(space_id_).fetches += 1;
       rp_.send_proto(m.src, r.id(), kFetchData, 0, 0, rp_.snapshot(r));
       return;
     }

@@ -148,7 +148,7 @@ TEST(StaticUpdate, SteadyStateHasNoRequests) {
     rp.start_read(p);
     rp.end_read(p);
     rp.ace_barrier(sp);
-    const std::uint64_t misses_before = rp.dstats().read_misses;
+    const std::uint64_t misses_before = rp.dstats_total().read_misses;
     // Steady state: 20 iterations with zero read misses anywhere.
     for (std::uint64_t it = 0; it < 20; ++it) {
       if (rp.me() == 0) {
@@ -162,7 +162,7 @@ TEST(StaticUpdate, SteadyStateHasNoRequests) {
       rp.end_read(p);
       rp.ace_barrier(sp);
     }
-    EXPECT_EQ(rp.dstats().read_misses, misses_before);
+    EXPECT_EQ(rp.dstats_total().read_misses, misses_before);
   });
 }
 
@@ -221,11 +221,11 @@ TEST(Migratory, ReadsAlsoMigrate) {
       EXPECT_EQ(*p, 66u);
       rp.end_read(p);
       // Ownership is now here: an immediate write needs no messages.
-      const auto misses = rp.dstats().write_misses;
+      const auto misses = rp.dstats_total().write_misses;
       rp.start_write(p);
       *p = 67;
       rp.end_write(p);
-      EXPECT_EQ(rp.dstats().write_misses, misses);
+      EXPECT_EQ(rp.dstats_total().write_misses, misses);
     }
     rp.proc().barrier();
   });

@@ -59,6 +59,70 @@ TEST(Typed, WriteGuardThenReadGuard) {
   });
 }
 
+TEST(Typed, FactoryMethodsOpenGuards) {
+  Fixture f(1);
+  f.rt.run([](RuntimeProc&) {
+    const auto g = gmalloc<std::int64_t>(kDefaultSpace);
+    {
+      auto lk = g.lock();
+      auto w = g.write();
+      *w = 77;
+    }
+    auto r = g.read();
+    EXPECT_EQ(*r, 77);
+  });
+}
+
+TEST(Typed, MovedFromGuardIsNullAndDoesNotDoubleClose) {
+  // A moved-from guard must not run the after-access hooks again; the live
+  // guard carries them.  Balanced counts after everything dies prove it.
+  Fixture f(1);
+  f.rt.run([](RuntimeProc& rp) {
+    const auto g = gmalloc<double>(kDefaultSpace);
+    {
+      auto w = g.write();
+      *w = 2.5;
+      WriteGuard<double> w2 = std::move(w);
+      EXPECT_FALSE(static_cast<bool>(w));
+      EXPECT_TRUE(static_cast<bool>(w2));
+      EXPECT_EQ(*w2, 2.5);
+    }
+    {
+      auto r = g.read();
+      ReadGuard<double> r2;
+      r2 = std::move(r);
+      EXPECT_FALSE(static_cast<bool>(r));
+      EXPECT_EQ(*r2, 2.5);
+      r2 = {};  // early close
+      EXPECT_FALSE(static_cast<bool>(r2));
+    }
+    {
+      auto lk = g.lock();
+      LockGuard<double> lk2 = std::move(lk);
+      EXPECT_FALSE(static_cast<bool>(lk));
+      EXPECT_TRUE(static_cast<bool>(lk2));
+    }
+    void* p = rp.map(g.id());
+    EXPECT_EQ(rp.region_of(p).active_readers, 0u);
+    EXPECT_EQ(rp.region_of(p).active_writers, 0u);
+    rp.unmap(p);
+  });
+}
+
+TEST(Typed, GuardReturnedFromHelperStaysOpen) {
+  Fixture f(1);
+  f.rt.run([](RuntimeProc&) {
+    const auto g = gmalloc<int>(kDefaultSpace);
+    {
+      auto w = g.write();
+      *w = 9;
+    }
+    auto open = [](global_ptr<int> p) { return p.read(); };
+    auto r = open(g);
+    EXPECT_EQ(*r, 9);
+  });
+}
+
 TEST(Typed, GuardsBalanceProtocolCounts) {
   // After guard destruction no access may be considered in progress — the
   // whole point of RAII here (§2.1: the after-access hook must always run).
