@@ -23,7 +23,9 @@
 
 #include "acec/annotate.hpp"
 #include "acec/kernels.hpp"
+#include "acec/lint.hpp"
 #include "acec/passes.hpp"
+#include "acec/verify.hpp"
 #include "bench/harness.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
@@ -79,6 +81,24 @@ Variant run_variant(const std::string& name, const KernelCase& kc,
   return v;
 }
 
+/// Static verification of one stage (annotation verifier + protocol linter);
+/// prints any diagnostics and returns their count so main() can fail fast —
+/// timing an IR that flunks the verifier would be timing a miscompile.
+std::size_t verify_stage(const KernelCase& kc, const Function& f,
+                         const Registry& registry, bool post_dc) {
+  const VerifyOptions vo{.null_hooks_elided = post_dc};
+  auto diags = verify(f, kc.space_protocols, registry, vo);
+  const auto lints = lint(f, analyze(f, kc.space_protocols, registry));
+  diags.insert(diags.end(), lints.begin(), lints.end());
+  if (!diags.empty()) std::fputs(to_string(diags).c_str(), stderr);
+  return diags.size();
+}
+
+std::size_t report_diags(std::vector<Diag> diags) {
+  if (!diags.empty()) std::fputs(to_string(diags).c_str(), stderr);
+  return diags.size();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,6 +133,29 @@ int main(int argc, char** argv) {
         opt_merge_calls(li, analyze(li, kc.space_protocols, registry), &rep);
     const Function dc = opt_direct_calls(
         mc, analyze(mc, kc.space_protocols, registry), registry, &rep);
+
+    // Translation validation: the verifier must be clean after annotation
+    // and after every pass, and each pass must preserve the protocol-call
+    // multiset modulo the legal Figure-6 merges.
+    std::size_t ndiags = 0;
+    ndiags += verify_stage(kc, base, registry, /*post_dc=*/false);
+    ndiags += report_diags(check_pass(base, li, PassKind::kLoopInvariance,
+                                      kc.space_protocols, registry));
+    ndiags += verify_stage(kc, li, registry, /*post_dc=*/false);
+    ndiags += report_diags(check_pass(li, mc, PassKind::kMergeCalls,
+                                      kc.space_protocols, registry));
+    ndiags += verify_stage(kc, mc, registry, /*post_dc=*/false);
+    ndiags += report_diags(check_pass(mc, dc, PassKind::kDirectCalls,
+                                      kc.space_protocols, registry));
+    ndiags += verify_stage(kc, dc, registry, /*post_dc=*/true);
+    std::printf("%-11s acelint: %s\n", kc.name.c_str(),
+                ndiags == 0 ? "clean (base/li/mc/dc + pass deltas)"
+                            : "DIAGNOSTICS");
+    if (ndiags != 0) {
+      std::fprintf(stderr, "FATAL: %s failed static verification (%zu)\n",
+                   kc.name.c_str(), ndiags);
+      return 1;
+    }
 
     const Variant v_base = run_variant("base", kc, &base, procs);
     const Variant v_li = run_variant("li", kc, &li, procs);

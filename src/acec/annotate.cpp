@@ -40,6 +40,7 @@ Function annotate(const Function& f) {
     }
   }
   validate(out);
+  notify_stage(out, "annotate");
   return out;
 }
 

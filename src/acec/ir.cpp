@@ -134,4 +134,14 @@ std::size_t count_ops(const Function& f, Op op) {
   return n;
 }
 
+namespace {
+StageHook g_stage_hook;
+}  // namespace
+
+void set_stage_hook(StageHook hook) { g_stage_hook = std::move(hook); }
+
+void notify_stage(const Function& f, const char* stage) {
+  if (g_stage_hook) g_stage_hook(f, stage);
+}
+
 }  // namespace ace::ir

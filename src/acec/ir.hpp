@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -114,5 +115,15 @@ std::string to_string(const Function& f);
 
 /// Count instructions of one opcode (test/bench helper).
 std::size_t count_ops(const Function& f, Op op);
+
+/// Translation-validation seam: the annotator and every optimization pass
+/// report their output here just before returning.  `stage` is one of
+/// "annotate", "li", "mc", "dc".  tools/acelint and the Table-4 bench
+/// install a hook that runs the acelint verifier on each stage; the default
+/// is no hook.  Not thread-safe: install before spawning the machine.
+using StageHook = std::function<void(const Function&, const char* stage)>;
+void set_stage_hook(StageHook hook);
+/// Invoke the installed hook, if any (called by annotate()/the passes).
+void notify_stage(const Function& f, const char* stage);
 
 }  // namespace ace::ir

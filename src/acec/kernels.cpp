@@ -163,14 +163,21 @@ KernelCase em3d_case(std::uint32_t scale) {
     const SpaceId eval = rp.new_space(proto_names::kSC);   // space 1
     const SpaceId hval = rp.new_space(proto_names::kSC);   // space 2
     ACE_CHECK(eval == 1 && hval == 2);
-    shared->e_ids = alloc_shared(rp, eval, n, sizeof(double));
-    shared->h_ids = alloc_shared(rp, hval, n, sizeof(double));
+    const std::vector<RegionId> e_ids = alloc_shared(rp, eval, n, sizeof(double));
+    const std::vector<RegionId> h_ids = alloc_shared(rp, hval, n, sizeof(double));
+    // Collectives return identical tables on every processor; only proc 0
+    // publishes them to the cross-run Shared block (the thread join between
+    // rt.run calls orders the write before the checksum/hand readers).
+    if (rp.me() == 0) {
+      shared->e_ids = e_ids;
+      shared->h_ids = h_ids;
+    }
     // Initialize H values (E is overwritten by the kernel).
     Rng rng(7);
     for (std::uint32_t i = 0; i < n; ++i) {
       const double v = rng.next_double(-1, 1);
       if (rr_owner(i, P) != rp.me()) continue;
-      auto* p = static_cast<double*>(rp.map(shared->h_ids[i]));
+      auto* p = static_cast<double*>(rp.map(h_ids[i]));
       rp.start_write(p);
       *p = v;
       rp.end_write(p);
@@ -191,11 +198,11 @@ KernelCase em3d_case(std::uint32_t scale) {
         const auto h = static_cast<std::uint32_t>(grng.next_below(n));
         const double w = grng.next_double(0, 0.1);
         if (mine) {
-          nbrs.push_back(shared->h_ids[h]);
+          nbrs.push_back(h_ids[h]);
           weights.push_back(w);
         }
       }
-      if (mine) my_e.push_back(shared->e_ids[i]);
+      if (mine) my_e.push_back(e_ids[i]);
     }
     args.region_tables = {std::move(my_e), std::move(nbrs)};
     args.f64_tables = {std::move(weights)};
@@ -316,14 +323,23 @@ KernelCase bsc_case(std::uint32_t scale) {
     ACE_CHECK(mat == 1);
     // L blocks are written once at setup and only read during the kernel;
     // A blocks are written only by their owner (the HomeWrite contract).
-    shared->l_blocks = alloc_shared(rp, mat, nb, bs * bs * sizeof(double));
-    shared->a_blocks = alloc_shared(rp, mat, nb, bs * bs * sizeof(double));
+    const std::vector<RegionId> l_blocks =
+        alloc_shared(rp, mat, nb, bs * bs * sizeof(double));
+    const std::vector<RegionId> a_blocks =
+        alloc_shared(rp, mat, nb, bs * bs * sizeof(double));
+    // Collectives return identical tables on every processor; only proc 0
+    // publishes them to the cross-run Shared block (the thread join between
+    // rt.run calls orders the write before the checksum/hand readers).
+    if (rp.me() == 0) {
+      shared->l_blocks = l_blocks;
+      shared->a_blocks = a_blocks;
+    }
     Rng rng(5);
     for (std::uint32_t i = 0; i < nb; ++i) {
       std::vector<double> vals(bs * bs);
       for (auto& v : vals) v = rng.next_double(-1, 1);
       if (rr_owner(i, P) != rp.me()) continue;
-      auto* p = static_cast<double*>(rp.map(shared->l_blocks[i]));
+      auto* p = static_cast<double*>(rp.map(l_blocks[i]));
       rp.start_write(p);
       std::copy(vals.begin(), vals.end(), p);
       rp.end_write(p);
@@ -336,9 +352,9 @@ KernelCase bsc_case(std::uint32_t scale) {
     std::vector<RegionId> triples;
     for (std::uint32_t i = 0; i < nb; ++i) {
       if (rr_owner(i, P) != rp.me()) continue;
-      triples.push_back(shared->l_blocks[(i + 1) % nb]);  // lik (read-only)
-      triples.push_back(shared->l_blocks[(i + 3) % nb]);  // ljk (read-only)
-      triples.push_back(shared->a_blocks[i]);             // aij (mine)
+      triples.push_back(l_blocks[(i + 1) % nb]);  // lik (read-only)
+      triples.push_back(l_blocks[(i + 3) % nb]);  // ljk (read-only)
+      triples.push_back(a_blocks[i]);             // aij (mine)
     }
     args.region_tables = {std::move(triples)};
     args.ints = {static_cast<std::int64_t>(args.region_tables[0].size() / 3),
@@ -446,20 +462,30 @@ KernelCase water_case(std::uint32_t scale) {
     const SpaceId pos = rp.new_space(proto_names::kSC);    // space 1
     const SpaceId force = rp.new_space(proto_names::kSC);  // space 2
     ACE_CHECK(pos == 1 && force == 2);
-    shared->pos = alloc_shared(rp, pos, n, 3 * sizeof(double));
-    shared->force = alloc_shared(rp, force, n, 3 * sizeof(double));
+    const std::vector<RegionId> pos_ids = alloc_shared(rp, pos, n, 3 * sizeof(double));
+    const std::vector<RegionId> force_ids =
+        alloc_shared(rp, force, n, 3 * sizeof(double));
     // Per-processor scratch target for self-contributions: a processor's
     // *own* molecules' contributions would hit its home master copy as raw
     // stores (racing with remote adds); the app accumulates those locally,
     // which the straight-line kernel cannot, so it redirects them to a
     // dummy region excluded from the checksum.
-    shared->dummy = alloc_shared(rp, force, P, 3 * sizeof(double));
+    const std::vector<RegionId> dummy_ids =
+        alloc_shared(rp, force, P, 3 * sizeof(double));
+    // Collectives return identical tables on every processor; only proc 0
+    // publishes them to the cross-run Shared block (the thread join between
+    // rt.run calls orders the write before the checksum/hand readers).
+    if (rp.me() == 0) {
+      shared->pos = pos_ids;
+      shared->force = force_ids;
+      shared->dummy = dummy_ids;
+    }
     Rng rng(3);
     for (std::uint32_t i = 0; i < n; ++i) {
       double v[3] = {rng.next_double(-2, 2), rng.next_double(-2, 2),
                      rng.next_double(-2, 2)};
       if (rr_owner(i, P) != rp.me()) continue;
-      auto* p = static_cast<double*>(rp.map(shared->pos[i]));
+      auto* p = static_cast<double*>(rp.map(pos_ids[i]));
       rp.start_write(p);
       for (int k = 0; k < 3; ++k) p[k] = v[k];
       rp.end_write(p);
@@ -472,11 +498,11 @@ KernelCase water_case(std::uint32_t scale) {
     KernelArgs args;
     std::vector<RegionId> mine, targets;
     for (std::uint32_t i = 0; i < n; ++i)
-      if (rr_owner(i, P) == rp.me()) mine.push_back(shared->pos[i]);
+      if (rr_owner(i, P) == rp.me()) mine.push_back(pos_ids[i]);
     for (std::uint32_t j = 0; j < n; ++j)
-      targets.push_back(rr_owner(j, P) == rp.me() ? shared->dummy[rp.me()]
-                                                  : shared->force[j]);
-    args.region_tables = {std::move(mine), shared->pos, std::move(targets)};
+      targets.push_back(rr_owner(j, P) == rp.me() ? dummy_ids[rp.me()]
+                                                  : force_ids[j]);
+    args.region_tables = {std::move(mine), pos_ids, std::move(targets)};
     args.ints = {static_cast<std::int64_t>(args.region_tables[0].size()),
                  static_cast<std::int64_t>(n)};
     return args;
@@ -578,8 +604,15 @@ KernelCase tsp_case(std::uint32_t scale) {
       rp.end_write(p);
       rp.unmap(p);
     }
-    shared->dmat = rp.bcast_region(dmat, 0);
-    shared->bound = rp.bcast_region(bound, 0);
+    const RegionId dmat_id = rp.bcast_region(dmat, 0);
+    const RegionId bound_id = rp.bcast_region(bound, 0);
+    // Collectives return identical tables on every processor; only proc 0
+    // publishes them to the cross-run Shared block (the thread join between
+    // rt.run calls orders the write before the checksum/hand readers).
+    if (rp.me() == 0) {
+      shared->dmat = dmat_id;
+      shared->bound = bound_id;
+    }
     rp.change_protocol(mat, proto_names::kHomeWrite);
 
     KernelArgs args;
@@ -588,7 +621,7 @@ KernelCase tsp_case(std::uint32_t scale) {
     Rng rng(17 + rp.me());
     for (auto& v : tours)
       v = static_cast<double>(rng.next_below(n_cities));
-    args.region_tables = {{shared->dmat}, {shared->bound}};
+    args.region_tables = {{dmat_id}, {bound_id}};
     args.f64_tables = {std::move(tours)};
     args.ints = {n_tours, n_cities, n_cities - 1};
     return args;
@@ -693,7 +726,8 @@ KernelCase bh_case(std::uint32_t scale) {
     const SpaceId bodies = rp.new_space(proto_names::kSC);  // space 1
     const SpaceId tree = rp.new_space(proto_names::kSC);    // space 2
     ACE_CHECK(bodies == 1 && tree == 2);
-    shared->bodies = alloc_shared(rp, bodies, n, 6 * sizeof(double));
+    const std::vector<RegionId> body_ids =
+        alloc_shared(rp, bodies, n, 6 * sizeof(double));
     // Tree nodes all live on processor 0 (it builds the tree).
     std::vector<RegionId> tr(n_visits);
     if (rp.me() == 0)
@@ -702,13 +736,19 @@ KernelCase bh_case(std::uint32_t scale) {
       apps::AceApi api(rp);
       apps::share_ids(api, tr, [](std::size_t) { return apps::ProcId{0}; });
     }
-    shared->tree = tr;
+    // Collectives return identical tables on every processor; only proc 0
+    // publishes them to the cross-run Shared block (the thread join between
+    // rt.run calls orders the write before the checksum/hand readers).
+    if (rp.me() == 0) {
+      shared->bodies = body_ids;
+      shared->tree = tr;
+    }
     Rng rng(23);
     for (std::uint32_t i = 0; i < n; ++i) {
       double v[3] = {rng.next_double(-1, 1), rng.next_double(-1, 1),
                      rng.next_double(-1, 1)};
       if (rr_owner(i, P) != rp.me()) continue;
-      auto* p = static_cast<double*>(rp.map(shared->bodies[i]));
+      auto* p = static_cast<double*>(rp.map(body_ids[i]));
       rp.start_write(p);
       for (int k = 0; k < 3; ++k) p[k] = v[k];
       rp.end_write(p);
@@ -731,8 +771,8 @@ KernelCase bh_case(std::uint32_t scale) {
     KernelArgs args;
     std::vector<RegionId> mine;
     for (std::uint32_t i = 0; i < n; ++i)
-      if (rr_owner(i, P) == rp.me()) mine.push_back(shared->bodies[i]);
-    args.region_tables = {std::move(mine), shared->tree};
+      if (rr_owner(i, P) == rp.me()) mine.push_back(body_ids[i]);
+    args.region_tables = {std::move(mine), tr};
     args.ints = {static_cast<std::int64_t>(args.region_tables[0].size()),
                  n_visits};
     return args;

@@ -1,0 +1,194 @@
+#include "acec/lint.hpp"
+
+#include <cstdio>
+#include <map>
+#include <numeric>
+#include <vector>
+
+namespace ace::ir {
+
+namespace {
+
+/// Abstract region identity for the epoch-race check.
+struct RKey {
+  enum Kind { kNone, kConcrete, kDynamic, kAlloc } kind = kNone;
+  std::int64_t table = -1;
+  std::int64_t index = -1;   // concrete only
+  std::size_t site = 0;      // alloc-site (kGMallocR / kNewSpace) only
+  bool operator<(const RKey& o) const {
+    return std::tie(kind, table, index, site) <
+           std::tie(o.kind, o.table, o.index, o.site);
+  }
+};
+
+bool is_access_op(Op op) {
+  switch (op) {
+    case Op::kMap:
+    case Op::kStartRead:
+    case Op::kEndRead:
+    case Op::kStartWrite:
+    case Op::kEndWrite:
+    case Op::kLoadPtr:
+    case Op::kStorePtr:
+    case Op::kLoadShared:
+    case Op::kStoreShared:
+      return true;
+    default:
+      return false;
+  }
+}
+
+struct UnionFind {
+  std::vector<std::size_t> parent;
+  explicit UnionFind(std::size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), std::size_t{0});
+  }
+  std::size_t find(std::size_t x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent[find(a)] = find(b); }
+};
+
+}  // namespace
+
+std::vector<Diag> lint(const Function& f, const AnalysisResult& an) {
+  std::vector<Diag> diags;
+  auto emit = [&](const char* rule, std::size_t i, std::string msg) {
+    diags.push_back({rule, f.name, i, std::move(msg)});
+  };
+
+  // --- AL01 / AL02: per-access protocol-set facts --------------------------
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const Inst& inst = f.code[i];
+    if (!is_access_op(inst.op)) continue;
+    const AccessInfo& info = an.per_inst[i];
+    if (info.protocols.empty()) {
+      emit("AL01", i,
+           "access has an empty possible-protocol set (space not covered "
+           "by the kernel signature)");
+      continue;
+    }
+    if (inst.direct && !info.singleton()) {
+      std::string protos;
+      for (const auto& p : info.protocols) {
+        if (!protos.empty()) protos += ',';
+        protos += p;
+      }
+      emit("AL02", i,
+           "direct dispatch but the protocol set {" + protos +
+               "} is not a singleton");
+    }
+  }
+
+  // --- AL03: static epoch-race check ---------------------------------------
+  // Linear segments between barriers, glued along loop back-edges.
+  std::vector<std::size_t> seg(f.code.size(), 0);
+  std::size_t n_segs = 1;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    if (i > 0 && f.code[i - 1].op == Op::kBarrier) n_segs += 1;
+    seg[i] = n_segs - 1;
+  }
+  UnionFind epochs(n_segs);
+  {
+    std::vector<std::size_t> stack;
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      if (f.code[i].op == Op::kLoopBegin) stack.push_back(i);
+      if (f.code[i].op == Op::kLoopEnd) {
+        // The back edge joins the body's tail epoch to its head epoch.
+        epochs.unite(seg[i], seg[stack.back()]);
+        stack.pop_back();
+      }
+    }
+  }
+
+  // Region identities, scoped exactly like the verifier's dominance facts
+  // (definitions inside a loop body are discarded at the loop end).
+  std::map<std::int32_t, RKey> keys;
+  std::vector<std::map<std::int32_t, RKey>> scopes;
+  struct Access {
+    std::size_t inst;
+    bool write;
+  };
+  std::map<std::pair<std::size_t, RKey>, std::vector<Access>> accesses;
+
+  auto record = [&](std::size_t i, std::int32_t reg, bool write) {
+    auto it = keys.find(reg);
+    if (it == keys.end() || it->second.kind != RKey::kConcrete) return;
+    accesses[{epochs.find(seg[i]), it->second}].push_back({i, write});
+  };
+
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const Inst& inst = f.code[i];
+    switch (inst.op) {
+      case Op::kParamRegion:
+        keys[inst.dst] = {RKey::kConcrete, inst.imm, inst.imm2, 0};
+        break;
+      case Op::kParamRegionIdx:
+        keys[inst.dst] = {RKey::kDynamic, inst.imm, -1, 0};
+        break;
+      case Op::kGMallocR:
+      case Op::kNewSpace:
+        keys[inst.dst] = {RKey::kAlloc, -1, -1, i};
+        break;
+      case Op::kMap:
+      case Op::kCopy: {
+        auto it = keys.find(inst.a);
+        if (it != keys.end())
+          keys[inst.dst] = it->second;
+        else
+          keys.erase(inst.dst);
+        break;
+      }
+      case Op::kLoadPtr:
+      case Op::kLoadShared:
+        record(i, inst.a, /*write=*/false);
+        keys.erase(inst.dst);
+        break;
+      case Op::kStorePtr:
+      case Op::kStoreShared:
+        record(i, inst.a, /*write=*/true);
+        break;
+      case Op::kLoopBegin:
+        keys.erase(inst.dst);
+        scopes.push_back(keys);
+        break;
+      case Op::kLoopEnd:
+        keys = std::move(scopes.back());
+        scopes.pop_back();
+        break;
+      default:
+        if (inst.dst >= 0) keys.erase(inst.dst);
+        break;
+    }
+  }
+
+  for (const auto& [ek, as] : accesses) {
+    std::size_t first_write = 0, first_read = 0;
+    bool has_write = false, has_read = false;
+    for (const auto& a : as) {
+      if (a.write && !has_write) {
+        has_write = true;
+        first_write = a.inst;
+      }
+      if (!a.write && !has_read) {
+        has_read = true;
+        first_read = a.inst;
+      }
+    }
+    if (!has_write || !has_read) continue;
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "write at %zu and read at %zu hit the same region "
+                  "(table %lld, index %lld) in one barrier epoch: every "
+                  "processor executes both (SPMD race)",
+                  first_write, first_read,
+                  static_cast<long long>(ek.second.table),
+                  static_cast<long long>(ek.second.index));
+    emit("AL03", first_write, buf);
+  }
+
+  return diags;
+}
+
+}  // namespace ace::ir

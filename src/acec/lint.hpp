@@ -1,0 +1,37 @@
+// acelint: protocol-usage linter (§4.2's analysis facts turned into
+// hazard diagnostics).
+//
+// Where verify() checks structural well-formedness of the annotation layer,
+// the linter reuses the dataflow analysis (analyze()) to flag *semantic*
+// hazards that are statically detectable:
+//
+//   AL01 — an access whose possible-protocol set is empty: the analysis
+//          could not associate any protocol with the data (a space the
+//          kernel signature never declared), so every downstream
+//          optimization decision about it is vacuous.
+//   AL02 — a direct-dispatch site (Inst::direct) whose protocol set is not
+//          a singleton: the direct-call pass's precondition does not hold
+//          and the devirtualized call may bind the wrong routine.
+//   AL03 — a static epoch-race check, the compile-time counterpart of the
+//          RaceCheck protocol (§2.1): IR kernels are SPMD (every processor
+//          runs the same code, parameterized by its id through its
+//          argument tables), so a write and a read of the *same concrete
+//          region* — one named by a fixed (table, index) parameter slot,
+//          i.e. the same global region on every processor — inside one
+//          barrier epoch means some processor reads while another writes.
+//          Dynamically-indexed regions (kParamRegionIdx) differ per
+//          processor by construction and are exempt; epochs follow loop
+//          back-edges (code after the last barrier of a loop body shares an
+//          epoch with code before the body's first barrier).
+#pragma once
+
+#include "acec/analysis.hpp"
+#include "acec/verify.hpp"
+
+namespace ace::ir {
+
+/// Lint one function against a fresh analysis of it.  Returns all hazards;
+/// empty means clean.
+std::vector<Diag> lint(const Function& f, const AnalysisResult& an);
+
+}  // namespace ace::ir

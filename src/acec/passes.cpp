@@ -212,7 +212,9 @@ Function opt_loop_invariance(const Function& f, const AnalysisResult& an,
       }
     }
   }
-  return from_work(f, w, ".li");
+  Function out = from_work(f, w, ".li");
+  notify_stage(out, "li");
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -315,7 +317,9 @@ Function opt_merge_calls(const Function& f, const AnalysisResult& an,
     }
   }
 
-  return from_work(f, w, ".mc");
+  Function out = from_work(f, w, ".mc");
+  notify_stage(out, "mc");
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -351,7 +355,9 @@ Function opt_direct_calls(const Function& f, const AnalysisResult& an,
     report->direct_calls += 1;
     ++i;
   }
-  return from_work(f, w, ".dc");
+  Function out = from_work(f, w, ".dc");
+  notify_stage(out, "dc");
+  return out;
 }
 
 }  // namespace ace::ir

@@ -1,0 +1,703 @@
+#include "acec/verify.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ace::ir {
+
+namespace {
+
+std::string loc_msg(const char* fmt, std::int32_t reg) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, fmt, reg);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_string(const Diag& d) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, ":%zu: ", d.inst);
+  return d.function + buf + d.rule + ": " + d.message;
+}
+
+std::string to_string(const std::vector<Diag>& ds) {
+  std::string out;
+  for (const auto& d : ds) {
+    out += to_string(d);
+    out += '\n';
+  }
+  return out;
+}
+
+const std::vector<RuleDesc>& rule_catalogue() {
+  static const std::vector<RuleDesc> rules = {
+      {"AV01", "pointer/region operand is not a dominating ACE_MAP result "
+               "(or region parameter) — zero-trip loops break the def"},
+      {"AV02", "END call without a matching open window of that mode"},
+      {"AV03", "START call on a window that is already open"},
+      {"AV04", "window still open at a barrier (code moved past "
+               "synchronization)"},
+      {"AV05", "window state differs across a loop back-edge"},
+      {"AV06", "pointer access outside any open window"},
+      {"AV07", "write access under a read-only window without the "
+               "protocol's merge_rw opt-in"},
+      {"AV08", "Ace_ChangeProtocol on a space that has an open window"},
+      {"AV09", "window still open at the end of the kernel"},
+      {"AV10", "pointer register overwritten while its window is open"},
+      {"AL01", "access whose possible-protocol set is empty"},
+      {"AL02", "direct-dispatch site whose protocol set is not a singleton"},
+      {"AL03", "same-region write/read pair within one barrier epoch "
+               "(static SPMD race)"},
+      {"AT01", "pass altered non-protocol instructions"},
+      {"AT02", "pass invented protocol calls"},
+      {"AT03", "unbalanced START/END removal (pairing broken)"},
+      {"AT04", "pass removed calls at a non-optimizable access"},
+      {"AT05", "read→write merge without the protocol's merge_rw opt-in"},
+      {"AT06", "direct-call pass removed a call that is not a null hook of "
+               "a singleton protocol"},
+      {"AT07", "ACE_MAP removed without a matching copy (or by a pass that "
+               "may not remove maps)"},
+  };
+  return rules;
+}
+
+// ---------------------------------------------------------------------------
+// verify(): path-sensitive window/dominance checking
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Abstract space ids, mirroring analysis.cpp: concrete SpaceIds as-is,
+/// kNewSpace sites offset by kSynthetic.
+using AbsSpace = std::int64_t;
+constexpr AbsSpace kSynthetic = 1'000'000;
+
+/// What the verifier knows about a register at a program point.  Entries
+/// are scoped: definitions made inside a loop body are discarded at the
+/// matching kLoopEnd, which is exactly dominance for structured IR with
+/// possibly-zero-trip loops.
+struct VReg {
+  bool is_region = false;
+  bool is_ptr = false;    ///< defined by kMap (possibly via kCopy)
+  bool is_space = false;  ///< defined by kNewSpace
+  std::set<AbsSpace> spaces;
+};
+
+struct Window {
+  bool escalated = false;  ///< read window escalated by a merge_rw write
+  bool soft = false;       ///< elided mode: END hook null, auto-closes
+  std::size_t open_at = 0;
+  std::set<AbsSpace> spaces;
+};
+
+/// Windows are keyed by (pointer register, write mode): after Merge Calls
+/// folds the read-map and write-map of one region into a single register,
+/// that register legitimately carries a read window and a write window at
+/// the same time (START_READ r; START_WRITE r; ... END_WRITE r; END_READ r).
+using WinKey = std::pair<std::int32_t, bool>;
+
+struct Verifier {
+  const Function& f;
+  const Registry& registry;
+  const AnalysisResult an;
+  const VerifyOptions opts;
+  std::vector<Diag> diags;
+
+  std::map<std::int32_t, VReg> regs;
+  std::map<WinKey, Window> windows;
+
+  struct LoopScope {
+    std::map<std::int32_t, VReg> regs;
+    std::map<WinKey, Window> windows;
+    std::size_t begin;
+  };
+  std::vector<LoopScope> scopes;
+
+  Verifier(const Function& fn,
+           const std::map<SpaceId, std::set<std::string>>& sp,
+           const Registry& reg, const VerifyOptions& o)
+      : f(fn), registry(reg), an(analyze(fn, sp, reg)), opts(o) {}
+
+  void emit(const char* rule, std::size_t i, std::string msg) {
+    diags.push_back({rule, f.name, i, std::move(msg)});
+  }
+
+  const AccessInfo& info(std::size_t i) const { return an.per_inst[i]; }
+
+  bool singleton_hook_null(std::size_t i, unsigned bit) const {
+    const auto& protos = info(i).protocols;
+    if (protos.size() != 1) return false;
+    return (registry.info(*protos.begin()).hooks & bit) == 0;
+  }
+
+  /// Elision check for a missing START: the access/END at `i` is legal with
+  /// no open window iff DC could have deleted the opening call.
+  bool start_elided(std::size_t i, bool write) const {
+    return opts.null_hooks_elided &&
+           singleton_hook_null(i, write ? kHookStartWrite : kHookStartRead);
+  }
+
+  std::set<AbsSpace> space_operand(const Inst& inst) const {
+    if (inst.a >= 0) {
+      auto it = regs.find(inst.a);
+      return it == regs.end() ? std::set<AbsSpace>{} : it->second.spaces;
+    }
+    return {static_cast<AbsSpace>(inst.imm2)};
+  }
+
+  /// A register is being (re)defined: a live window on it would lose its
+  /// only handle.
+  void on_redefine(std::size_t i, std::int32_t dst) {
+    for (bool mode : {false, true}) {
+      auto it = windows.find({dst, mode});
+      if (it == windows.end()) continue;
+      if (it->second.soft) {
+        windows.erase(it);  // the elided END happened before this point
+        continue;
+      }
+      emit("AV10", i,
+           loc_msg("pointer r%d overwritten while its window is open", dst));
+      windows.erase(it);
+    }
+  }
+
+  void require_ptr(std::size_t i, std::int32_t r, const char* what) {
+    auto it = regs.find(r);
+    if (it == regs.end() || !it->second.is_ptr)
+      emit("AV01", i,
+           loc_msg((std::string(what) +
+                    " operand r%d is not a dominating ACE_MAP result")
+                       .c_str(),
+                   r));
+  }
+
+  void open_window(std::size_t i, bool write) {
+    const Inst& inst = f.code[i];
+    require_ptr(i, inst.a, write ? "START_WRITE" : "START_READ");
+    auto it = windows.find({inst.a, write});
+    if (it != windows.end()) {
+      if (it->second.soft) {
+        windows.erase(it);  // implicit close where the elided END would run
+      } else {
+        emit("AV03", i,
+             loc_msg(write
+                         ? "START_WRITE on r%d, whose write window is "
+                           "already open"
+                         : "START_READ on r%d, whose read window is "
+                           "already open",
+                     inst.a));
+        windows.erase(it);
+      }
+    }
+    Window w;
+    w.open_at = i;
+    if (auto rit = regs.find(inst.a); rit != regs.end())
+      w.spaces = rit->second.spaces;
+    // Post-DC, a window whose END hook is null has no closing call left in
+    // the code; it is "soft" and auto-closes at the next boundary.
+    w.soft = opts.null_hooks_elided &&
+             singleton_hook_null(i, write ? kHookEndWrite : kHookEndRead);
+    windows[{inst.a, write}] = w;
+  }
+
+  void close_window(std::size_t i, bool write) {
+    const Inst& inst = f.code[i];
+    require_ptr(i, inst.a, write ? "END_WRITE" : "END_READ");
+    if (write) {
+      if (auto it = windows.find({inst.a, true}); it != windows.end()) {
+        windows.erase(it);
+        return;
+      }
+      // No write window: END_WRITE may still close a read window that was
+      // escalated, or (the Figure-6 read→write merge) one whose protocols
+      // all opt in to merge_rw.
+      if (auto it = windows.find({inst.a, false}); it != windows.end()) {
+        if (!it->second.escalated && !info(i).all_merge_rw)
+          emit("AV02", i,
+               loc_msg("END_WRITE closes a read-mode window on r%d without "
+                       "merge_rw",
+                       inst.a));
+        windows.erase(it);
+        return;
+      }
+      if (!start_elided(i, true))
+        emit("AV02", i,
+             loc_msg("END_WRITE on r%d with no open window", inst.a));
+      return;
+    }
+    if (auto it = windows.find({inst.a, false}); it != windows.end()) {
+      if (it->second.escalated)
+        emit("AV02", i,
+             loc_msg("END_READ closes a write-capable window on r%d",
+                     inst.a));
+      windows.erase(it);
+      return;
+    }
+    if (!start_elided(i, false))
+      emit("AV02", i,
+           loc_msg("END_READ on r%d with no open window", inst.a));
+  }
+
+  void access(std::size_t i, bool write) {
+    const Inst& inst = f.code[i];
+    require_ptr(i, inst.a, write ? "STORE" : "LOAD");
+    auto itw = windows.find({inst.a, true});
+    if (itw != windows.end()) return;  // a write window covers both modes
+    auto itr = windows.find({inst.a, false});
+    if (itr == windows.end()) {
+      if (!start_elided(i, write))
+        emit("AV06", i,
+             loc_msg(write ? "STORE through r%d outside any open window"
+                           : "LOAD through r%d outside any open window",
+                     inst.a));
+      return;
+    }
+    if (write && !itr->second.escalated) {
+      if (info(i).all_merge_rw) {
+        itr->second.escalated = true;  // legal Figure-6 read→write escalation
+      } else {
+        emit("AV07", i,
+             loc_msg("STORE through r%d under a read-only window", inst.a));
+      }
+    }
+  }
+
+  void barrier(std::size_t i) {
+    for (auto it = windows.begin(); it != windows.end();) {
+      if (it->second.soft) {
+        it = windows.erase(it);  // auto-close: no END call exists
+        continue;
+      }
+      emit("AV04", i,
+           loc_msg("window on r%d is open across a barrier",
+                   it->first.first));
+      ++it;
+    }
+  }
+
+  void change_protocol(std::size_t i) {
+    const std::set<AbsSpace> target = space_operand(f.code[i]);
+    for (auto it = windows.begin(); it != windows.end();) {
+      bool hits = false;
+      for (AbsSpace s : it->second.spaces)
+        if (target.count(s)) hits = true;
+      if (!hits) {
+        ++it;
+        continue;
+      }
+      if (it->second.soft) {
+        it = windows.erase(it);
+        continue;
+      }
+      emit("AV08", i,
+           loc_msg("Ace_ChangeProtocol while the window on r%d is open",
+                   it->first.first));
+      ++it;
+    }
+  }
+
+  void loop_begin(std::size_t i) { scopes.push_back({regs, windows, i}); }
+
+  void loop_end(std::size_t i) {
+    LoopScope scope = std::move(scopes.back());
+    scopes.pop_back();
+    // The elided END of a soft window can fall anywhere, including the back
+    // edge; drop soft windows unique to either side before comparing.
+    auto strip_soft = [&](std::map<WinKey, Window> ws,
+                          const std::map<WinKey, Window>& other) {
+      for (auto it = ws.begin(); it != ws.end();)
+        it = (it->second.soft && !other.count(it->first)) ? ws.erase(it)
+                                                          : std::next(it);
+      return ws;
+    };
+    auto cur = strip_soft(windows, scope.windows);
+    auto entry = strip_soft(scope.windows, windows);
+    for (const auto& [k, w] : entry)
+      if (!cur.count(k))
+        emit("AV05", i,
+             loc_msg("window on r%d open at loop entry is closed on the "
+                     "back edge",
+                     k.first));
+    for (const auto& [k, w] : cur)
+      if (!entry.count(k))
+        emit("AV05", i,
+             loc_msg("window on r%d opened in the loop body leaks across "
+                     "the back edge",
+                     k.first));
+    windows = std::move(cur);
+    regs = std::move(scope.regs);  // body definitions do not dominate below
+  }
+
+  void finish() {
+    for (const auto& [k, w] : windows) {
+      if (w.soft) continue;
+      emit("AV09", w.open_at,
+           loc_msg("window on r%d is never closed", k.first));
+    }
+  }
+
+  void run() {
+    for (std::size_t i = 0; i < f.code.size(); ++i) {
+      const Inst& inst = f.code[i];
+      switch (inst.op) {
+        case Op::kParamRegion:
+        case Op::kParamRegionIdx: {
+          on_redefine(i, inst.dst);
+          VReg v;
+          v.is_region = true;
+          v.spaces = {static_cast<AbsSpace>(
+              f.table_space[static_cast<std::size_t>(inst.imm)])};
+          regs[inst.dst] = v;
+          break;
+        }
+        case Op::kNewSpace: {
+          on_redefine(i, inst.dst);
+          VReg v;
+          v.is_space = true;
+          v.spaces = {kSynthetic + static_cast<AbsSpace>(i)};
+          regs[inst.dst] = v;
+          break;
+        }
+        case Op::kGMallocR: {
+          on_redefine(i, inst.dst);
+          VReg v;
+          v.is_region = true;
+          v.spaces = space_operand(inst);
+          regs[inst.dst] = v;
+          break;
+        }
+        case Op::kMap: {
+          on_redefine(i, inst.dst);
+          if (auto it = regs.find(inst.a);
+              it == regs.end() || !it->second.is_region)
+            emit("AV01", i,
+                 loc_msg("ACE_MAP operand r%d is not a dominating region "
+                         "value",
+                         inst.a));
+          VReg v;
+          v.is_ptr = true;
+          if (auto it = regs.find(inst.a); it != regs.end())
+            v.spaces = it->second.spaces;
+          regs[inst.dst] = v;
+          break;
+        }
+        case Op::kCopy: {
+          on_redefine(i, inst.dst);
+          auto it = regs.find(inst.a);
+          regs[inst.dst] = it == regs.end() ? VReg{} : it->second;
+          break;
+        }
+        case Op::kStartRead: open_window(i, /*write=*/false); break;
+        case Op::kStartWrite: open_window(i, /*write=*/true); break;
+        case Op::kEndRead: close_window(i, /*write=*/false); break;
+        case Op::kEndWrite: close_window(i, /*write=*/true); break;
+        case Op::kLoadPtr:
+          on_redefine(i, inst.dst);
+          access(i, /*write=*/false);
+          regs.erase(inst.dst);
+          break;
+        case Op::kStorePtr: access(i, /*write=*/true); break;
+        case Op::kLoadShared:
+          // Language-level access (pre-annotation IR): self-contained.
+          on_redefine(i, inst.dst);
+          if (auto it = regs.find(inst.a);
+              it == regs.end() || !it->second.is_region)
+            emit("AV01", i,
+                 loc_msg("shared load of r%d, which is not a dominating "
+                         "region value",
+                         inst.a));
+          regs.erase(inst.dst);
+          break;
+        case Op::kStoreShared:
+          if (auto it = regs.find(inst.a);
+              it == regs.end() || !it->second.is_region)
+            emit("AV01", i,
+                 loc_msg("shared store to r%d, which is not a dominating "
+                         "region value",
+                         inst.a));
+          break;
+        case Op::kBarrier: barrier(i); break;
+        case Op::kChangeProtocol: change_protocol(i); break;
+        case Op::kLoopBegin:
+          on_redefine(i, inst.dst);
+          regs.erase(inst.dst);  // induction variable: scalar
+          loop_begin(i);
+          break;
+        case Op::kLoopEnd: loop_end(i); break;
+        default:
+          // Scalar ops: a definition shadows any region/pointer fact.
+          if (inst.dst >= 0) {
+            on_redefine(i, inst.dst);
+            regs.erase(inst.dst);
+          }
+          break;
+      }
+    }
+    finish();
+  }
+};
+
+}  // namespace
+
+std::vector<Diag> verify(
+    const Function& f,
+    const std::map<SpaceId, std::set<std::string>>& space_protocols,
+    const Registry& registry, const VerifyOptions& opts) {
+  Verifier v(f, space_protocols, registry, opts);
+  v.run();
+  return v.diags;
+}
+
+// ---------------------------------------------------------------------------
+// check_pass(): translation validation modulo the legal Figure-6 merges
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool is_annotation_call(Op op) {
+  return op == Op::kMap || op == Op::kStartRead || op == Op::kEndRead ||
+         op == Op::kStartWrite || op == Op::kEndWrite;
+}
+
+/// Protocol-set signature of an access ("HomeWrite" / "DynamicUpdate,SC" /
+/// "" when unknown): the key under which call counts must balance.  The
+/// passes move and merge calls but never change which protocols an access
+/// can see, so signatures are stable across a legal transformation.
+std::string proto_key(const AccessInfo& info) {
+  std::string key;
+  for (const auto& p : info.protocols) {
+    if (!key.empty()) key += ',';
+    key += p;
+  }
+  return key;
+}
+
+struct CallCounts {
+  std::map<std::string, std::array<std::int64_t, 5>> per_key;  // see kSlot*
+  std::int64_t copies = 0;
+  /// Multiset of non-protocol instructions (computation, control, sync).
+  std::map<std::string, std::int64_t> other;
+};
+
+constexpr int kSlotMap = 0, kSlotSR = 1, kSlotER = 2, kSlotSW = 3,
+              kSlotEW = 4;
+
+int call_slot(Op op) {
+  switch (op) {
+    case Op::kMap: return kSlotMap;
+    case Op::kStartRead: return kSlotSR;
+    case Op::kEndRead: return kSlotER;
+    case Op::kStartWrite: return kSlotSW;
+    case Op::kEndWrite: return kSlotEW;
+    default: return -1;
+  }
+}
+
+const char* slot_name(int slot) {
+  switch (slot) {
+    case kSlotMap: return "ACE_MAP";
+    case kSlotSR: return "ACE_START_READ";
+    case kSlotER: return "ACE_END_READ";
+    case kSlotSW: return "ACE_START_WRITE";
+    case kSlotEW: return "ACE_END_WRITE";
+    default: return "?";
+  }
+}
+
+CallCounts count_calls(const Function& f, const AnalysisResult& an) {
+  CallCounts c;
+  for (std::size_t i = 0; i < f.code.size(); ++i) {
+    const Inst& inst = f.code[i];
+    if (is_annotation_call(inst.op)) {
+      c.per_key[proto_key(an.per_inst[i])][static_cast<std::size_t>(
+          call_slot(inst.op))] += 1;
+      continue;
+    }
+    if (inst.op == Op::kCopy) {
+      c.copies += 1;
+      continue;
+    }
+    // Pointer accesses keep dst/index/value registers across every pass
+    // (only the pointer operand may be rewritten by merging); everything
+    // else must survive field-for-field.
+    char buf[128];
+    if (inst.op == Op::kLoadPtr || inst.op == Op::kStorePtr) {
+      std::snprintf(buf, sizeof buf, "op%d d%d b%d c%d",
+                    static_cast<int>(inst.op), inst.dst, inst.b, inst.c);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "op%d d%d a%d b%d c%d i%lld j%lld f%g",
+                    static_cast<int>(inst.op), inst.dst, inst.a, inst.b,
+                    inst.c, static_cast<long long>(inst.imm),
+                    static_cast<long long>(inst.imm2), inst.fimm);
+    }
+    c.other[buf] += 1;
+  }
+  return c;
+}
+
+struct KeyFacts {
+  bool all_optimizable = false;
+  bool all_merge_rw = false;
+  bool singleton = false;
+  unsigned hooks = 0;  ///< hook bits of the unique protocol (singleton only)
+};
+
+KeyFacts key_facts(const std::string& key, const Registry& registry) {
+  KeyFacts kf;
+  if (key.empty()) return kf;
+  std::vector<std::string> names;
+  std::size_t start = 0;
+  while (start <= key.size()) {
+    const auto comma = key.find(',', start);
+    names.push_back(key.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  kf.all_optimizable = true;
+  kf.all_merge_rw = true;
+  for (const auto& n : names) {
+    const ProtocolInfo& info = registry.info(n);
+    if (!info.optimizable) kf.all_optimizable = false;
+    if (!info.merge_rw) kf.all_merge_rw = false;
+  }
+  kf.singleton = names.size() == 1;
+  if (kf.singleton) kf.hooks = registry.info(names[0]).hooks;
+  return kf;
+}
+
+}  // namespace
+
+std::vector<Diag> check_pass(
+    const Function& before, const Function& after, PassKind kind,
+    const std::map<SpaceId, std::set<std::string>>& space_protocols,
+    const Registry& registry) {
+  std::vector<Diag> diags;
+  auto emit = [&](const char* rule, std::string msg) {
+    diags.push_back({rule, after.name, 0, std::move(msg)});
+  };
+
+  const CallCounts cb =
+      count_calls(before, analyze(before, space_protocols, registry));
+  const CallCounts ca =
+      count_calls(after, analyze(after, space_protocols, registry));
+
+  // AT01: computation, control flow, and synchronization survive verbatim.
+  if (cb.other != ca.other) {
+    std::int64_t nb = 0, na = 0;
+    for (const auto& [k, n] : cb.other) nb += n;
+    for (const auto& [k, n] : ca.other) na += n;
+    char buf[128];
+    std::snprintf(buf, sizeof buf,
+                  "non-protocol instruction multiset changed "
+                  "(%lld before, %lld after)",
+                  static_cast<long long>(nb), static_cast<long long>(na));
+    emit("AT01", buf);
+  }
+
+  const std::int64_t copies_added = ca.copies - cb.copies;
+  std::int64_t maps_removed_total = 0;
+
+  // Collect every key present on either side.
+  std::set<std::string> keys;
+  for (const auto& [k, v] : cb.per_key) keys.insert(k);
+  for (const auto& [k, v] : ca.per_key) keys.insert(k);
+
+  for (const auto& key : keys) {
+    static constexpr std::array<std::int64_t, 5> kZero = {0, 0, 0, 0, 0};
+    const auto& b = cb.per_key.count(key) ? cb.per_key.at(key) : kZero;
+    const auto& a = ca.per_key.count(key) ? ca.per_key.at(key) : kZero;
+    const std::string label = key.empty() ? "<unknown>" : key;
+
+    std::array<std::int64_t, 5> removed{};
+    bool any_removed = false;
+    for (int s = 0; s < 5; ++s) {
+      removed[static_cast<std::size_t>(s)] =
+          b[static_cast<std::size_t>(s)] - a[static_cast<std::size_t>(s)];
+      if (removed[static_cast<std::size_t>(s)] < 0)
+        emit("AT02", std::string(slot_name(s)) + " calls invented for {" +
+                         label + "}");
+      if (removed[static_cast<std::size_t>(s)] > 0) any_removed = true;
+    }
+    if (!any_removed) continue;
+
+    const KeyFacts kf = key_facts(key, registry);
+    const std::int64_t d_map = removed[kSlotMap];
+    const std::int64_t d_sr = removed[kSlotSR], d_er = removed[kSlotER];
+    const std::int64_t d_sw = removed[kSlotSW], d_ew = removed[kSlotEW];
+    maps_removed_total += std::max<std::int64_t>(d_map, 0);
+
+    switch (kind) {
+      case PassKind::kLoopInvariance:
+        // Hoisting moves calls and collapses per-iteration same-mode pairs;
+        // it never touches maps' count and never crosses modes.
+        if (d_map != 0)
+          emit("AT07", "loop-invariance changed ACE_MAP count for {" +
+                           label + "}");
+        if (d_sr != d_er || d_sw != d_ew)
+          emit("AT03", "unbalanced START/END removal for {" + label + "}");
+        if (!kf.all_optimizable)
+          emit("AT04", "calls removed at non-optimizable access {" + label +
+                           "}");
+        break;
+      case PassKind::kMergeCalls: {
+        // Same-mode merges remove (START_m, END_m) pairs; the read→write
+        // escalation removes (END_READ, START_WRITE).  Solving the pair
+        // arithmetic: escalations = d_er - d_sr = d_sw - d_ew ≥ 0.
+        const std::int64_t esc_r = d_er - d_sr;
+        const std::int64_t esc_w = d_sw - d_ew;
+        if (esc_r != esc_w || esc_r < 0 || d_sr < 0 || d_ew < 0)
+          emit("AT03", "unbalanced START/END removal for {" + label + "}");
+        else if (esc_r > 0 && !kf.all_merge_rw)
+          emit("AT05", "read->write merge for {" + label +
+                           "} without merge_rw opt-in");
+        if (!kf.all_optimizable)
+          emit("AT04", "calls removed at non-optimizable access {" + label +
+                           "}");
+        break;
+      }
+      case PassKind::kDirectCalls:
+        // Only null hooks of singleton protocols may disappear, unpaired.
+        if (d_map != 0)
+          emit("AT07", "direct-call pass removed ACE_MAP for {" + label +
+                           "}");
+        if (!kf.singleton) {
+          emit("AT06", "calls removed at non-singleton access {" + label +
+                           "}");
+          break;
+        }
+        {
+          static constexpr std::array<unsigned, 5> kBits = {
+              0, kHookStartRead, kHookEndRead, kHookStartWrite,
+              kHookEndWrite};
+          for (int s = kSlotSR; s <= kSlotEW; ++s)
+            if (removed[static_cast<std::size_t>(s)] > 0 &&
+                (kf.hooks & kBits[static_cast<std::size_t>(s)]) != 0)
+              emit("AT06", std::string(slot_name(s)) + " removed for {" +
+                               label + "} but the hook is not null");
+        }
+        break;
+    }
+  }
+
+  // AT07: every merged map must have left a copy behind (MC), and only MC
+  // may touch maps at all.
+  if (kind == PassKind::kMergeCalls) {
+    if (maps_removed_total != copies_added) {
+      char buf[128];
+      std::snprintf(buf, sizeof buf,
+                    "%lld maps removed but %lld copies added",
+                    static_cast<long long>(maps_removed_total),
+                    static_cast<long long>(copies_added));
+      emit("AT07", buf);
+    }
+  } else if (copies_added != 0) {
+    emit("AT01", "pass changed the kCopy count");
+  }
+
+  return diags;
+}
+
+}  // namespace ace::ir

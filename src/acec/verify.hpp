@@ -1,0 +1,94 @@
+// acelint: static verification of the annotation layer (the checker side of
+// the compiler described in §4.2).
+//
+// The three optimization passes rest on invariants that nothing in
+// passes.cpp itself checks: ACE_MAP results dominate their uses, START/END
+// windows pair on every path and never leak across synchronization calls or
+// loop back-edges, pointer accesses happen only inside an open window, and
+// writes require a write-capable window.  The verifier re-derives those
+// properties from scratch on every compilation stage, so a bug in a pass
+// (or in the annotator) surfaces as a diagnostic instead of silently
+// corrupting the Table-4 reproduction.
+//
+// Two layers of checking live here:
+//
+//   * verify()      — single-function well-formedness over every path of the
+//                     structured IR (rules AV01..AV10).  After the
+//                     direct-call pass, calls whose unique protocol declares
+//                     the hook null have been deleted (§4.2: "calls to null
+//                     functions are removed"); VerifyOptions::
+//                     null_hooks_elided makes the verifier accept exactly
+//                     those elisions and nothing more.
+//   * check_pass()  — translation validation: given the input and output of
+//                     one optimization pass, asserts that the protocol-call
+//                     multiset is preserved modulo the legal Figure-6 merges
+//                     (rules AT01..AT07).  Pure computation must survive
+//                     untouched; START/END removals must pair up; read→write
+//                     merges need the protocol's §4.2-footnote-1 opt-in; the
+//                     direct-call pass may delete only null hooks of
+//                     singleton protocols.
+//
+// The protocol-usage linter (rules AL01..AL03) lives in lint.hpp; the rule
+// catalogue below spans all three families so tools/acelint can print one
+// stable listing.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "acec/analysis.hpp"
+#include "acec/ir.hpp"
+
+namespace ace::ir {
+
+/// One diagnostic.  `function`:`inst` is the stable source coordinate (the
+/// IR has no files; the function name plays that role).
+struct Diag {
+  std::string rule;      ///< catalogue id, e.g. "AV04"
+  std::string function;  ///< name of the function the diagnostic is in
+  std::size_t inst = 0;  ///< instruction index within the function
+  std::string message;
+};
+
+/// "function:inst: RULE: message" (one line, no trailing newline).
+std::string to_string(const Diag& d);
+/// All diagnostics, one per line (empty string when clean).
+std::string to_string(const std::vector<Diag>& ds);
+
+/// The stable rule catalogue (verifier AV*, linter AL*, translation
+/// validation AT*).  IDs are append-only: tools and CI grep for them.
+struct RuleDesc {
+  const char* id;
+  const char* summary;
+};
+const std::vector<RuleDesc>& rule_catalogue();
+
+struct VerifyOptions {
+  /// Accept the direct-call pass's null-hook elisions: a missing END whose
+  /// unique protocol declares the END hook null, and a missing START whose
+  /// unique protocol declares the START hook null.  Off for every stage
+  /// before DC, where strict pairing must hold.
+  bool null_hooks_elided = false;
+};
+
+/// Verify annotation well-formedness of one (annotated) function.  Returns
+/// every violation found; an empty vector means the function is clean.
+/// `space_protocols` seeds the same protocol facts analyze() uses (the
+/// merge_rw escalation and null-hook elision rules are protocol-dependent).
+std::vector<Diag> verify(
+    const Function& f,
+    const std::map<SpaceId, std::set<std::string>>& space_protocols,
+    const Registry& registry, const VerifyOptions& opts = {});
+
+enum class PassKind { kLoopInvariance, kMergeCalls, kDirectCalls };
+
+/// Translation validation for one pass application: `after` must be
+/// `before` with only the transformations `kind` is licensed to make.
+std::vector<Diag> check_pass(
+    const Function& before, const Function& after, PassKind kind,
+    const std::map<SpaceId, std::set<std::string>>& space_protocols,
+    const Registry& registry);
+
+}  // namespace ace::ir

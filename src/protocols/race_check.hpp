@@ -31,7 +31,7 @@ class RaceCheck final : public Protocol {
   const ProtocolInfo& info() const override { return static_info(); }
 
   void start_read(Region& r) override;
-  void end_read(Region& r) override {}
+  void end_read(Region&) override {}
   void start_write(Region& r) override;
   void end_write(Region& r) override;
   void barrier() override;

@@ -131,9 +131,11 @@ TEST(Analysis, SCIsNotOptimizable) {
   b.load(r, i);
   const Function f = annotate(b.f);
   const auto an = analyze(f, {{0, {proto_names::kSC}}}, reg());
-  for (std::size_t k = 0; k < f.code.size(); ++k)
-    if (f.code[k].op == Op::kStartRead)
+  for (std::size_t k = 0; k < f.code.size(); ++k) {
+    if (f.code[k].op == Op::kStartRead) {
       EXPECT_FALSE(an.per_inst[k].all_optimizable);
+    }
+  }
 }
 
 TEST(Analysis, ChangeProtocolStrongUpdate) {
@@ -195,10 +197,12 @@ TEST(Analysis, NewSpaceAndGMallocTracked) {
   b.load(rg, i);
   const Function f = annotate(b.f);
   const auto an = analyze(f, {}, reg());
-  for (std::size_t k = 0; k < f.code.size(); ++k)
-    if (f.code[k].op == Op::kStartRead)
+  for (std::size_t k = 0; k < f.code.size(); ++k) {
+    if (f.code[k].op == Op::kStartRead) {
       EXPECT_EQ(an.per_inst[k].protocols,
                 std::set<std::string>{proto_names::kNull});
+    }
+  }
 }
 
 // --- loop invariance -----------------------------------------------------------
@@ -433,8 +437,11 @@ TEST(DirectCalls, DevirtualizesSingletonAndRemovesNull) {
   EXPECT_EQ(rep.direct_calls, 1u);   // start_read
   EXPECT_EQ(rep.removed_null, 1u);   // end_read deleted
   EXPECT_EQ(count_ops(out, Op::kEndRead), 0u);
-  for (const auto& inst : out.code)
-    if (inst.op == Op::kStartRead) EXPECT_TRUE(inst.direct);
+  for (const auto& inst : out.code) {
+    if (inst.op == Op::kStartRead) {
+      EXPECT_TRUE(inst.direct);
+    }
+  }
 }
 
 TEST(DirectCalls, LeavesNonSingletonAlone) {

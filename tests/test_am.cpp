@@ -122,8 +122,11 @@ TEST(Machine, FlushLemma) {
       for (ProcId q = 0; q < kProcs; ++q)
         if (q != p.id()) p.send(q, h, {static_cast<std::uint64_t>(round)});
       p.barrier();
-      for (ProcId q = 0; q < kProcs; ++q)
-        if (q != p.id()) EXPECT_EQ(inbox[p.id()][q], round);
+      for (ProcId q = 0; q < kProcs; ++q) {
+        if (q != p.id()) {
+          EXPECT_EQ(inbox[p.id()][q], round);
+        }
+      }
       p.barrier();  // keep rounds from overlapping
     }
   });

@@ -87,15 +87,17 @@ TEST(Em3d, MapPerAccessStyleMatchesReference) {
   const auto [e_ref, h_ref] = em3d_reference(p, 4);
   run_ace(4, [&](AceApi& api) {
     const Em3dResult r = em3d_run(api, p);
-    if (api.me() == 0)
+    if (api.me() == 0) {
       for (std::size_t i = 0; i < e_ref.size(); ++i)
         EXPECT_DOUBLE_EQ(r.e_final[i], e_ref[i]);
+    }
   });
   run_crl(4, [&](CrlApi& api) {
     const Em3dResult r = em3d_run(api, p);
-    if (api.me() == 0)
+    if (api.me() == 0) {
       for (std::size_t i = 0; i < h_ref.size(); ++i)
         EXPECT_DOUBLE_EQ(r.h_final[i], h_ref[i]);
+    }
   });
 }
 
@@ -108,9 +110,10 @@ TEST(Em3d, MatchesReferenceOnCrl) {
   const auto [e_ref, h_ref] = em3d_reference(p, 4);
   run_crl(4, [&](CrlApi& api) {
     const Em3dResult r = em3d_run(api, p);
-    if (api.me() == 0)
+    if (api.me() == 0) {
       for (std::size_t i = 0; i < e_ref.size(); ++i)
         EXPECT_DOUBLE_EQ(r.e_final[i], e_ref[i]);
+    }
   });
 }
 
@@ -124,9 +127,9 @@ TEST(Em3d, StaticUpdateUsesFewerMessagesThanSC) {
   {
     ace::am::Machine machine(4);
     ace::Runtime rt(machine);
+    p.protocol = "SC";
     rt.run([&](ace::RuntimeProc& rp) {
       AceApi api(rp);
-      p.protocol = "SC";
       em3d_run(api, p);
     });
     msgs_sc = machine.aggregate_stats().msgs_sent;
@@ -134,9 +137,9 @@ TEST(Em3d, StaticUpdateUsesFewerMessagesThanSC) {
   {
     ace::am::Machine machine(4);
     ace::Runtime rt(machine);
+    p.protocol = "StaticUpdate";
     rt.run([&](ace::RuntimeProc& rp) {
       AceApi api(rp);
-      p.protocol = "StaticUpdate";
       em3d_run(api, p);
     });
     msgs_static = machine.aggregate_stats().msgs_sent;
@@ -243,10 +246,11 @@ TEST(Water, MatchesReferenceOnCrl) {
   const std::vector<Mol> ref = water_reference(p);
   run_crl(3, [&](CrlApi& api) {
     const WaterResult r = water_run(api, p);
-    if (api.me() == 0)
+    if (api.me() == 0) {
       for (std::size_t i = 0; i < ref.size(); ++i)
         for (int k = 0; k < 3; ++k)
           EXPECT_NEAR(r.final_state[i].pos[k], ref[i].pos[k], 1e-9);
+    }
   });
 }
 
@@ -295,17 +299,19 @@ TEST(BarnesHut, MapPerAccessStyleMatchesReference) {
   const std::vector<BhBody> ref = bh_reference(p);
   run_ace(4, [&](AceApi& api) {
     const BhResult r = bh_run(api, p);
-    if (api.me() == 0)
+    if (api.me() == 0) {
       for (std::size_t i = 0; i < ref.size(); ++i)
         for (int k = 0; k < 3; ++k)
           EXPECT_NEAR(r.final_state[i].pos[k], ref[i].pos[k], 1e-12);
+    }
   });
   run_crl(4, [&](CrlApi& api) {
     const BhResult r = bh_run(api, p);
-    if (api.me() == 0)
+    if (api.me() == 0) {
       for (std::size_t i = 0; i < ref.size(); ++i)
         for (int k = 0; k < 3; ++k)
           EXPECT_NEAR(r.final_state[i].pos[k], ref[i].pos[k], 1e-12);
+    }
   });
 }
 
@@ -316,10 +322,11 @@ TEST(BarnesHut, MatchesReferenceOnCrl) {
   const std::vector<BhBody> ref = bh_reference(p);
   run_crl(3, [&](CrlApi& api) {
     const BhResult r = bh_run(api, p);
-    if (api.me() == 0)
+    if (api.me() == 0) {
       for (std::size_t i = 0; i < ref.size(); ++i)
         for (int k = 0; k < 3; ++k)
           EXPECT_NEAR(r.final_state[i].pos[k], ref[i].pos[k], 1e-12);
+    }
   });
 }
 

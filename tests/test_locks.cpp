@@ -104,8 +104,12 @@ TEST(Locks, GrantOrderIsFifo) {
       rp.proc().barrier();  // everyone else lines up (in proc order below)
       // Wait until all waiters queued: they queue in staggered real time;
       // the home polls while spinning on its own clock.
-      for (volatile int spin = 0; spin < 2000000; ++spin)
+      volatile int sink = 0;
+      for (int spin = 0; spin < 2000000; ++spin) {
+        sink = spin;
         if (spin % 65536 == 0) rp.proc().poll();
+      }
+      static_cast<void>(sink);
       rp.ace_unlock(lk);
     } else {
       // Stagger arrivals: proc q waits for the seq counter to reach q-1.
@@ -159,7 +163,9 @@ TEST(Locks, ManyLocksManyRegions) {
       if (rp.me() == 0) local += *d;
       rp.end_read(d);
     }
-    if (rp.me() == 0) EXPECT_EQ(local, std::uint64_t(kProcs) * 60);
+    if (rp.me() == 0) {
+      EXPECT_EQ(local, std::uint64_t(kProcs) * 60);
+    }
     rp.proc().barrier();
   });
 }

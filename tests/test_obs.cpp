@@ -355,9 +355,10 @@ TEST(Obs, TraceRecordsDsmAndTransportEvents) {
       // Events land in completion order with their start timestamp, so
       // *end* times (ts + dur) are monotone per ring; start times are not
       // (an enclosing span completes after the events nested inside it).
-      if (i > 0)
+      if (i > 0) {
         EXPECT_GE(e.ts_ns + e.dur_ns,
                   pt.ring->at(i - 1).ts_ns + pt.ring->at(i - 1).dur_ns);
+      }
     }
   }
   EXPECT_EQ(dsm_events, 2u);  // one start_read per proc
@@ -405,7 +406,7 @@ TEST(Obs, TracingDoesNotPerturbModeledTimeOrStats) {
     id = rp.bcast_region(id, 0);
     void* p = rp.map(id);
     for (int i = 0; i < 8; ++i) {
-      if (rp.me() == i % 2) {
+      if (rp.me() == static_cast<am::ProcId>(i % 2)) {
         rp.start_write(p);
         static_cast<std::uint8_t*>(p)[0] += 1;
         rp.end_write(p);

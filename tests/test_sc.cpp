@@ -361,8 +361,11 @@ TEST(Sc, ReadersDeferInvalidationUntilEndRead) {
       rp.start_read(p);
       const std::uint64_t first = p[0];
       // Busy "work" while proc 0 is trying to write; our copy must stay.
-      for (volatile int spin = 0; spin < 100000; ++spin) {
+      volatile int sink = 0;
+      for (int spin = 0; spin < 100000; ++spin) {
+        sink = spin;
       }
+      static_cast<void>(sink);
       rp.proc().poll();  // give the invalidation a chance to arrive
       EXPECT_EQ(p[0], first);
       rp.end_read(p);

@@ -1,0 +1,123 @@
+// acelint — static analysis over the Ace compiler's IR.
+//
+// Runs every Table-4 bench kernel through the full compilation pipeline
+// (annotate → LI → MC → DC) and, at each stage, the annotation verifier
+// (AV rules), the protocol-usage linter (AL rules), and — between stages —
+// the differential pass checker (AT rules) that asserts each pass preserved
+// the protocol-call multiset modulo the legal Figure-6 merges.
+//
+// Diagnostics print as `function:instruction: RULE: message`; the process
+// exits 1 if any diagnostic fired, so CI can gate on a clean run.
+//
+// Usage:
+//   acelint [--kernel=NAME] [--scale=1] [--dump] [--quiet]
+//   acelint --list-rules
+
+#include <cstdio>
+#include <cstring>
+
+#include "acec/annotate.hpp"
+#include "acec/kernels.hpp"
+#include "acec/lint.hpp"
+#include "acec/passes.hpp"
+#include "acec/verify.hpp"
+#include "common/cli.hpp"
+
+namespace {
+
+using namespace ace;
+using namespace ace::ir;
+
+struct Options {
+  std::string kernel;  // empty = all
+  bool dump = false;
+  bool quiet = false;
+};
+
+std::size_t report(const std::vector<Diag>& diags) {
+  if (!diags.empty()) std::fputs(to_string(diags).c_str(), stdout);
+  return diags.size();
+}
+
+/// Verify + lint one stage; returns the number of diagnostics.
+std::size_t check_stage(const KernelCase& kc, const Function& f,
+                        const char* stage, const Registry& registry,
+                        const Options& opt) {
+  const VerifyOptions vo{.null_hooks_elided = std::strcmp(stage, "dc") == 0};
+  std::size_t n = 0;
+  n += report(verify(f, kc.space_protocols, registry, vo));
+  n += report(lint(f, analyze(f, kc.space_protocols, registry)));
+  if (!opt.quiet)
+    std::printf("%-11s %-4s %-28s %s (%zu insts)\n", kc.name.c_str(), stage,
+                f.name.c_str(), n == 0 ? "clean" : "DIAGNOSTICS", f.code.size());
+  if (opt.dump) std::fputs(to_string(f).c_str(), stdout);
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli(argc, argv);
+  const bool list_rules = cli.get_bool("list-rules", false);
+  Options opt;
+  opt.kernel = cli.get_string("kernel", "");
+  opt.dump = cli.get_bool("dump", false);
+  opt.quiet = cli.get_bool("quiet", false);
+  const auto scale = static_cast<std::uint32_t>(cli.get_int("scale", 1));
+  cli.finish();
+
+  if (list_rules) {
+    std::printf("acelint rule catalogue\n");
+    std::printf("  AV* — annotation verifier, AL* — protocol-usage linter,\n"
+                "  AT* — translation validation (differential pass checker)\n\n");
+    for (const auto& r : rule_catalogue())
+      std::printf("  %s  %s\n", r.id, r.summary);
+    return 0;
+  }
+
+  const Registry registry = Registry::with_builtins();
+  auto cases = table4_cases(scale);
+  std::size_t total = 0;
+  bool matched = false;
+
+  for (const auto& kc : cases) {
+    if (!opt.kernel.empty() && kc.name != opt.kernel) continue;
+    matched = true;
+
+    const Function base = annotate(kc.program);
+    total += check_stage(kc, base, "base", registry, opt);
+
+    PassReport rep;
+    const Function li = opt_loop_invariance(
+        base, analyze(base, kc.space_protocols, registry), &rep);
+    total += report(check_pass(base, li, PassKind::kLoopInvariance,
+                               kc.space_protocols, registry));
+    total += check_stage(kc, li, "li", registry, opt);
+
+    const Function mc = opt_merge_calls(
+        li, analyze(li, kc.space_protocols, registry), &rep);
+    total += report(check_pass(li, mc, PassKind::kMergeCalls,
+                               kc.space_protocols, registry));
+    total += check_stage(kc, mc, "mc", registry, opt);
+
+    const Function dc = opt_direct_calls(
+        mc, analyze(mc, kc.space_protocols, registry), registry, &rep);
+    total += report(check_pass(mc, dc, PassKind::kDirectCalls,
+                               kc.space_protocols, registry));
+    total += check_stage(kc, dc, "dc", registry, opt);
+  }
+
+  if (!matched) {
+    std::fprintf(stderr, "acelint: no kernel named '%s' (have:",
+                 opt.kernel.c_str());
+    for (const auto& kc : cases) std::fprintf(stderr, " %s", kc.name.c_str());
+    std::fprintf(stderr, ")\n");
+    return 2;
+  }
+  if (total != 0) {
+    std::printf("acelint: %zu diagnostic%s\n", total, total == 1 ? "" : "s");
+    return 1;
+  }
+  if (!opt.quiet) std::printf("acelint: all kernels clean at every stage\n");
+  return 0;
+}
