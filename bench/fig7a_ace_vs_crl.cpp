@@ -8,7 +8,7 @@
 // mapping technique, and roughly even on coarse-grained BSC, where the
 // space->protocol dispatch indirection eats the runtime-system gains.
 //
-// Usage: fig7a_ace_vs_crl [--procs=8] [--full] [--seed=N] [--trace]
+// Usage: fig7a_ace_vs_crl [--procs=8] [--full] [--seed=N] [--trace] [--chaos-seed=N]
 //   --full uses the paper's input sizes (Table 3); the default scales the
 //   two largest inputs down so the whole bench suite stays fast.
 //   --trace records each Ace run's virtual-time event trace and writes
@@ -57,11 +57,14 @@ int main(int argc, char** argv) {
   const bool full = cli.get_bool("full", false);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const bool trace = cli.get_bool("trace", false);
+  const auto chaos_seed =
+      static_cast<std::uint64_t>(cli.get_int("chaos-seed", 0));
   cli.finish();
 
   auto trace_opt = [&](const std::string& app) {
     bench::RunOptions o;
     if (trace) o.trace_path = "TRACE_fig7a_" + app + ".json";
+    o.chaos_seed = chaos_seed;
     return o;
   };
 

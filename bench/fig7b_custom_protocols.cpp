@@ -6,7 +6,7 @@
 // static update protocol), average about 2x.  §3.3 additionally reports
 // ~3.5x for EM3D under *dynamic* update, which we print as its own row.
 //
-// Usage: fig7b_custom_protocols [--procs=8] [--full] [--seed=N] [--trace]
+// Usage: fig7b_custom_protocols [--procs=8] [--full] [--seed=N] [--trace] [--chaos-seed=N]
 //   --trace records each custom-protocol run's virtual-time event trace as
 //   TRACE_fig7b_<app>.json (Chrome trace-event format; open in Perfetto).
 // Writes BENCH_fig7b.json next to the human tables (schema: EXPERIMENTS.md).
@@ -59,11 +59,14 @@ int main(int argc, char** argv) {
   const bool full = cli.get_bool("full", false);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const bool trace = cli.get_bool("trace", false);
+  const auto chaos_seed =
+      static_cast<std::uint64_t>(cli.get_int("chaos-seed", 0));
   cli.finish();
 
   auto trace_opt = [&](const std::string& app) {
     bench::RunOptions o;
     if (trace) o.trace_path = "TRACE_fig7b_" + app + ".json";
+    o.chaos_seed = chaos_seed;
     return o;
   };
 

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "am/delivery.hpp"
 #include "apps/api.hpp"
 #include "common/table.hpp"
 #include "obs/json.hpp"
@@ -43,12 +44,16 @@ struct RunResult {
   std::vector<ace::obs::SpaceMetrics> spaces;
 };
 
-/// Optional per-run knobs (virtual-time tracing).
+/// Optional per-run knobs (virtual-time tracing, fault injection).
 struct RunOptions {
   /// When non-empty, record a trace and export it here as Chrome
   /// trace-event JSON (load in Perfetto / chrome://tracing).
   std::string trace_path;
   std::size_t trace_events_per_proc = std::size_t{1} << 16;
+  /// Non-zero: run under a seeded am::ChaosPolicy (legal delivery
+  /// perturbation — see am/delivery.hpp).  Modeled times then include the
+  /// injected jitter; the default 0 keeps the exact FIFO fast path.
+  std::uint64_t chaos_seed = 0;
 };
 
 /// Run `fn` (an SPMD body using AceApi) on a fresh machine/runtime.
@@ -58,6 +63,11 @@ inline RunResult run_ace(std::uint32_t procs,
   ace::am::Machine machine(procs);
   ace::Runtime rt(machine);
   if (!opt.trace_path.empty()) machine.enable_tracing(opt.trace_events_per_proc);
+  if (opt.chaos_seed != 0) {
+    ace::am::ChaosOptions copt;
+    copt.seed = opt.chaos_seed;
+    machine.set_chaos(copt);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   rt.run([&](ace::RuntimeProc& rp) {
     apps::AceApi api(rp);
@@ -87,6 +97,11 @@ inline RunResult run_crl(std::uint32_t procs,
   ace::am::Machine machine(procs);
   crl::CrlRuntime rt(machine);
   if (!opt.trace_path.empty()) machine.enable_tracing(opt.trace_events_per_proc);
+  if (opt.chaos_seed != 0) {
+    ace::am::ChaosOptions copt;
+    copt.seed = opt.chaos_seed;
+    machine.set_chaos(copt);
+  }
   const auto t0 = std::chrono::steady_clock::now();
   rt.run([&](crl::CrlProc& cp) {
     apps::CrlApi api(cp);

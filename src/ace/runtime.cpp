@@ -1,6 +1,7 @@
 #include "ace/runtime.hpp"
 
 #include <cstring>
+#include <ostream>
 
 namespace ace {
 
@@ -35,7 +36,8 @@ Runtime::Runtime(am::Machine& machine, Registry registry)
   rprocs_.resize(machine.nprocs());
 
   h_map_req_ = machine_.register_handler(
-      [](am::Proc& p, am::Message& m) { rproc_of(p).handle_map_req(m); });
+      [](am::Proc& p, am::Message& m) { rproc_of(p).handle_map_req(m); },
+      "ace.map_req");
 
   h_map_ack_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
     RuntimeProc& rp = rproc_of(p);
@@ -44,33 +46,35 @@ Runtime::Runtime(am::Machine& machine, Registry registry)
     r->set_meta(static_cast<std::uint32_t>(m.args[1]),
                 static_cast<std::uint32_t>(m.args[2]));
     r->op_done = true;
-  });
+  }, "ace.map_ack");
 
   h_lock_req_ = machine_.register_handler(
-      [](am::Proc& p, am::Message& m) { rproc_of(p).handle_lock_req(m); });
+      [](am::Proc& p, am::Message& m) { rproc_of(p).handle_lock_req(m); },
+      "ace.lock_req");
 
   h_lock_grant_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
     RuntimeProc& rp = rproc_of(p);
     Region& r = rp.find_or_create_remote(m.args[0]);
     r.op_done = true;
-  });
+  }, "ace.lock_grant");
 
   h_unlock_ = machine_.register_handler(
-      [](am::Proc& p, am::Message& m) { rproc_of(p).handle_unlock(m); });
+      [](am::Proc& p, am::Message& m) { rproc_of(p).handle_unlock(m); },
+      "ace.unlock");
 
   h_proto_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
     RuntimeProc& rp = rproc_of(p);
     Region& r = rp.find_or_create_remote(m.args[0]);
     Space& sp = rp.space(static_cast<SpaceId>(m.args[2]));
     sp.protocol().on_message(r, static_cast<std::uint32_t>(m.args[1]), m);
-  });
+  }, "ace.proto");
 
   h_bcast_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
     RuntimeProc& rp = rproc_of(p);
     ACE_CHECK_MSG(!rp.coll_.flag, "overlapping collectives");
     rp.coll_.buf = std::move(m.payload);
     rp.coll_.flag = true;
-  });
+  }, "ace.bcast");
 
   h_gather_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
     RuntimeProc& rp = rproc_of(p);
@@ -79,7 +83,7 @@ Runtime::Runtime(am::Machine& machine, Registry registry)
       rp.coll_.sum += bits_double(m.args[0]);
     else
       rp.coll_.min = std::min(rp.coll_.min, m.args[0]);
-  });
+  }, "ace.gather");
 }
 
 void Runtime::run(const std::function<void(RuntimeProc&)>& fn) {
@@ -124,6 +128,8 @@ void Runtime::reset_metrics() {
 RuntimeProc::RuntimeProc(Runtime& rt, am::Proc& proc)
     : rt_(rt), proc_(proc), mapper_(regions_) {
   proc_.set_ctx(am::kCtxAce, this);
+  proc_.set_state_dumper(am::kCtxAce,
+                         [this](std::ostream& os) { dump_state(os); });
   // The default space with the default sequentially consistent protocol.
   open_segment(kDefaultSpace, proto_names::kSC);
   spaces_.push_back(std::make_unique<Space>(
@@ -132,7 +138,39 @@ RuntimeProc::RuntimeProc(Runtime& rt, am::Proc& proc)
   spaces_.back()->protocol().init(*spaces_.back());
 }
 
-RuntimeProc::~RuntimeProc() { proc_.set_ctx(am::kCtxAce, nullptr); }
+RuntimeProc::~RuntimeProc() {
+  proc_.set_state_dumper(am::kCtxAce, nullptr);
+  proc_.set_ctx(am::kCtxAce, nullptr);
+}
+
+void RuntimeProc::dump_state(std::ostream& os) {
+  os << "  ace runtime: " << spaces_.size() << " spaces, " << regions_.count()
+     << " regions\n";
+  for (const auto& sp : spaces_)
+    if (sp)
+      os << "    space " << sp->id() << ": protocol "
+         << sp->protocol_name() << "\n";
+  regions_.for_each([&](Region& r) {
+    os << "    region " << std::hex << "0x" << r.id() << std::dec
+       << (r.is_home() ? " home(self)" : "") << " home=" << r.home_proc();
+    if (r.meta_valid())
+      os << " space=" << r.space() << " size=" << r.size();
+    else
+      os << " space=? size=?";
+    os << " pstate=0x" << std::hex << r.pstate << std::dec
+       << " maps=" << r.map_count << " rd=" << r.active_readers
+       << " wr=" << r.active_writers << " ver=" << r.version
+       << " op_done=" << r.op_done;
+    if (r.lock) {
+      os << " lock{held=" << r.lock->held;
+      if (r.lock->holder != dsm::kNoProc) os << " holder=" << r.lock->holder;
+      os << " waiters=" << r.lock->waiters.size() << "}";
+    }
+    os << "\n";
+  });
+  os << "    collective: flag=" << coll_.flag << " arrived=" << coll_.arrived
+     << " buf=" << coll_.buf.size() << "B\n";
+}
 
 ProcId RuntimeProc::me() const { return proc_.id(); }
 std::uint32_t RuntimeProc::nprocs() const { return proc_.nprocs(); }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string>
 #include <vector>
@@ -131,6 +132,11 @@ class RuntimeProc {
 
   Space& space(SpaceId s);
   dsm::RegionSet& regions() { return regions_; }
+
+  /// Write this processor's DSM state (spaces, regions, protocol state
+  /// words, locks, collective scratch) for the machine's deadlock report;
+  /// registered as the kCtxAce state dumper.
+  void dump_state(std::ostream& os);
 
   /// Send a protocol message: delivered to the destination's instance of the
   /// protocol of `space_of_region`, with the (possibly placeholder) region.

@@ -1,0 +1,157 @@
+// Delivery policies: the fault-injection seam of the simulated machine.
+//
+// The default machine drains each mailbox in strict arrival order, which is
+// a *stronger* guarantee than the protocols are entitled to: they may only
+// assume per-sender FIFO (the CM-5 network preserved point-to-point order)
+// and the barrier flush lemma (a message sent before its sender enters a
+// barrier is handled at the destination before the destination leaves that
+// barrier).  Reorder-sensitive bugs in the continuation-based protocol state
+// machines therefore never fire under the default schedule.
+//
+// A DeliveryPolicy sits between a processor's mailbox and its dispatch loop
+// (Proc::poll hands every swapped-out batch to the policy and dispatches
+// whatever the policy releases, in the policy's order).  Three rules bound
+// what a policy may legally do:
+//
+//   * per-sender FIFO is preserved: only the oldest undelivered message of
+//     each sender is ever a delivery candidate;
+//   * barrier messages are full fences: nothing is reordered across them in
+//     either direction, and they are never held or jittered (this is exactly
+//     what the flush lemma needs — see DESIGN.md, "Delivery model");
+//   * every parked message is released after a bounded number of polls, so
+//     blocked processors that keep polling always make progress.
+//
+// ChaosPolicy perturbs everything else: cross-sender reorder, holding a
+// message back for up to k polls, and jittering the modeled dispatch
+// latency.  Every decision is a pure function of (seed, receiver, sender,
+// seq) — splitmix64 over the message identity, one independent stream per
+// processor — so a decision does not depend on the host-thread interleaving
+// that happened to deliver the message.  Each delivery is logged;
+// ReplayPolicy re-imposes a captured log (order and jitter) exactly, making
+// a failing schedule bit-for-bit reproducible from its log file.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "am/message.hpp"
+
+namespace ace::am {
+
+class Machine;
+
+/// What Proc::poll dispatches: a released message plus the extra modeled
+/// latency to charge before running its handler (0 on the default path).
+struct Delivery {
+  Message msg;
+  std::uint64_t jitter_ns = 0;
+};
+
+/// Per-processor delivery policy.  All calls happen on the owning
+/// processor's thread (poll is single-threaded per proc), so policies need
+/// no internal synchronization.
+class DeliveryPolicy {
+ public:
+  virtual ~DeliveryPolicy() = default;
+
+  /// Take ownership of this poll's mailbox batch (receiver arrival order)
+  /// and append the messages to dispatch now, in order, to `out`.  Messages
+  /// not released are parked inside the policy for a later select call.
+  virtual void select(std::deque<Message> arrivals,
+                      std::vector<Delivery>& out) = 0;
+
+  /// True while undelivered messages are parked inside the policy.  A proc
+  /// blocked in wait_until must keep polling in that state (each poll ages
+  /// parked messages toward release) instead of sleeping on the mailbox.
+  virtual bool holding() const = 0;
+
+  /// Number of messages currently parked (deadlock report).
+  virtual std::size_t parked() const = 0;
+
+  /// The deliveries this policy has performed, in dispatch order.
+  virtual const DeliveryLog& log() const = 0;
+
+  /// Human-readable state for the deadlock report.
+  virtual void dump(std::ostream& os) const = 0;
+};
+
+/// Knobs for ChaosPolicy.  Defaults are aggressive enough to shake protocol
+/// schedules thoroughly while keeping holds short (wall time stays sane).
+struct ChaosOptions {
+  std::uint64_t seed = 1;
+  /// Probability a (non-barrier) message is held back on arrival.
+  double p_hold = 0.25;
+  /// A held message is released after 1..max_hold_polls further polls.
+  std::uint32_t max_hold_polls = 4;
+  /// Extra modeled dispatch latency: uniform in [0, max_jitter_ns].
+  std::uint64_t max_jitter_ns = 2000;
+};
+
+/// Seeded legal-perturbation policy (see file comment for the rules).
+class ChaosPolicy final : public DeliveryPolicy {
+ public:
+  ChaosPolicy(const ChaosOptions& opt, ProcId owner, const Machine& machine);
+
+  void select(std::deque<Message> arrivals, std::vector<Delivery>& out) override;
+  bool holding() const override { return !parked_.empty(); }
+  std::size_t parked() const override { return parked_.size(); }
+  const DeliveryLog& log() const override { return log_; }
+  void dump(std::ostream& os) const override;
+
+ private:
+  struct Parked {
+    Message m;
+    std::uint64_t due_poll = 0;  ///< earliest poll index that may release it
+    std::uint64_t prio = 0;      ///< deterministic tie-break among candidates
+    std::uint64_t jitter_ns = 0;
+    bool fence = false;          ///< barrier message: full delivery fence
+  };
+
+  ChaosOptions opt_;
+  const Machine* machine_;
+  std::uint64_t stream_;      ///< splitmix64(seed, owner): per-proc stream
+  std::uint64_t poll_ = 0;    ///< polls seen (ages holds)
+  std::deque<Parked> parked_; ///< arrival order
+  DeliveryLog log_;
+};
+
+/// Re-imposes a captured delivery log: messages are dispatched exactly in
+/// logged (src, seq) order with the logged jitter; once the log is
+/// exhausted, delivery falls back to plain FIFO.  Aborts with a diagnostic
+/// if the run diverges from the log (a message the log expects can no
+/// longer arrive).
+class ReplayPolicy final : public DeliveryPolicy {
+ public:
+  explicit ReplayPolicy(DeliveryLog script);
+
+  void select(std::deque<Message> arrivals, std::vector<Delivery>& out) override;
+  bool holding() const override { return !parked_.empty(); }
+  std::size_t parked() const override { return parked_.size(); }
+  const DeliveryLog& log() const override { return log_; }
+  void dump(std::ostream& os) const override;
+
+ private:
+  DeliveryLog script_;
+  std::size_t cursor_ = 0;
+  std::deque<Message> parked_;  ///< arrival order
+  DeliveryLog log_;
+};
+
+// --- delivery-log files (the acefuzz replay format) -----------------------
+// Text format, one section per processor:
+//   ace-delivery-log v1
+//   procs <P>
+//   proc <p> <n_records>
+//   <src> <seq> <handler> <jitter_ns>      (n_records lines)
+
+void write_delivery_logs(std::ostream& os, const std::vector<DeliveryLog>& logs);
+bool write_delivery_logs(const std::string& path,
+                         const std::vector<DeliveryLog>& logs);
+/// Aborts (ACE_CHECK) on a malformed stream/file.
+std::vector<DeliveryLog> read_delivery_logs(std::istream& is);
+std::vector<DeliveryLog> read_delivery_logs(const std::string& path);
+
+}  // namespace ace::am

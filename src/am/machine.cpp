@@ -1,14 +1,31 @@
 #include "am/machine.hpp"
+
 #include <atomic>
+#include <chrono>
+#include <exception>
+#include <iostream>
+#include <mutex>
 #include <thread>
 
-#include <chrono>
+#include "am/delivery.hpp"
+
+// The deadlock report runs on the stuck processor's thread while other
+// processor threads may still be mutating their own state; it reads that
+// state without synchronization because this is the abort path and a torn
+// read in a diagnostic beats a hang with no diagnostic.  Tell TSan.
+#if defined(__clang__) || defined(__GNUC__)
+#define ACE_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#else
+#define ACE_NO_SANITIZE_THREAD
+#endif
 
 namespace ace::am {
 
 namespace {
 thread_local Proc* tls_proc = nullptr;
 }  // namespace
+
+Proc::~Proc() = default;
 
 std::uint32_t Proc::nprocs() const { return machine_->nprocs(); }
 
@@ -28,15 +45,43 @@ void Proc::send(ProcId dst, HandlerId handler, std::array<std::uint64_t, 6> args
   m.args = args;
   m.payload = std::move(payload);
   m.send_vtime_ns = vclock_ns_;
+  // (src, seq) names the message uniquely at dst; dense per destination so
+  // a replayed run assigns identical numbers regardless of how its sends to
+  // *other* destinations interleave.
+  m.seq = ++send_seq_[dst];
   machine_->proc(dst).enqueue(std::move(m));
 }
 
 void Proc::enqueue(Message&& m) {
   {
     std::lock_guard lk(mail_mu_);
+    m.arrival = ++arrival_seq_;
     mailbox_.push_back(std::move(m));
   }
   mail_cv_.notify_one();
+}
+
+void Proc::dispatch(Message& m, std::uint64_t jitter_ns) {
+  // Modeled time: the receiver pays its dispatch/service cost per message.
+  // We deliberately do NOT join the receiver's clock with the sender's
+  // (max(now, send_time + latency)): with many simulated processors
+  // multiplexed onto few host cores, real scheduling skew would leak into
+  // virtual time and swamp the protocol effects being measured.  Instead,
+  // requester-side stalls are charged analytically (Proc::charge_rtt at
+  // every blocking wait) and clocks are joined at barriers, which is where
+  // SPMD programs actually synchronize.  Barrier traffic rides the CM-5's
+  // control network and charges nothing.
+  const std::uint64_t t0 = vclock_ns_;
+  if (!machine_->is_barrier_handler(m.handler))
+    vclock_ns_ += machine_->cost().handler_dispatch_ns + jitter_ns;
+  stats_.msgs_received += 1;
+  // Payload size is captured before the handler runs: data-installing
+  // handlers move the payload out, which used to trace every bulk-data
+  // dispatch as zero bytes.
+  const auto payload_bytes = static_cast<std::uint64_t>(m.payload.size());
+  ACE_DCHECK(m.handler < machine_->handlers_.size());
+  machine_->handlers_[m.handler](*this, m);
+  trace(obs::EventKind::kAmDispatch, t0, obs::kNoSpace, m.src, payload_bytes);
 }
 
 std::size_t Proc::poll() {
@@ -49,27 +94,17 @@ std::size_t Proc::poll() {
     std::lock_guard lk(mail_mu_);
     batch.swap(mailbox_);
   }
-  const auto& cost = machine_->cost();
-  for (auto& m : batch) {
-    // Modeled time: the receiver pays its dispatch/service cost per message.
-    // We deliberately do NOT join the receiver's clock with the sender's
-    // (max(now, send_time + latency)): with many simulated processors
-    // multiplexed onto few host cores, real scheduling skew would leak into
-    // virtual time and swamp the protocol effects being measured.  Instead,
-    // requester-side stalls are charged analytically (Proc::charge_rtt at
-    // every blocking wait) and clocks are joined at barriers, which is where
-    // SPMD programs actually synchronize.  Barrier traffic rides the CM-5's
-    // control network and charges nothing.
-    const std::uint64_t t0 = vclock_ns_;
-    if (!machine_->is_barrier_handler(m.handler))
-      vclock_ns_ += cost.handler_dispatch_ns;
-    stats_.msgs_received += 1;
-    ACE_DCHECK(m.handler < machine_->handlers_.size());
-    machine_->handlers_[m.handler](*this, m);
-    trace(obs::EventKind::kAmDispatch, t0, obs::kNoSpace, m.src,
-          static_cast<std::uint64_t>(m.payload.size()));
-  }
+  if (delivery_ != nullptr) return poll_policy(std::move(batch));
+  for (auto& m : batch) dispatch(m, 0);
   return batch.size();
+}
+
+std::size_t Proc::poll_policy(std::deque<Message>&& batch) {
+  std::vector<Delivery> out;
+  delivery_->select(std::move(batch), out);
+  if (!out.empty()) hold_spin_armed_ = false;
+  for (auto& d : out) dispatch(d.msg, d.jitter_ns);
+  return out.size();
 }
 
 void Proc::charge_rtt() {
@@ -80,12 +115,29 @@ void Proc::charge_rtt() {
 }
 
 void Proc::wait_for_mail() {
+  if (delivery_ != nullptr && delivery_->holding()) {
+    // Messages are parked inside the policy, not lost: return so wait_until
+    // keeps polling and the parked messages age toward release (a chaos
+    // hold expires after at most max_hold_polls polls).  The spin clock
+    // still bounds this state: a diverged replay can park a message forever.
+    const auto now = std::chrono::steady_clock::now();
+    if (!hold_spin_armed_) {
+      hold_spin_armed_ = true;
+      hold_spin_start_ = now;
+    } else if (now - hold_spin_start_ >= machine_->watchdog) {
+      machine_->report_deadlock(
+          *this, "delivery policy parked messages but released none");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(10));
+    return;
+  }
   std::unique_lock lk(mail_mu_);
   if (!mailbox_.empty()) return;
   if (!mail_cv_.wait_for(lk, machine_->watchdog,
                          [&] { return !mailbox_.empty(); })) {
-    check_failed("wait_for_mail watchdog", __FILE__, __LINE__,
-                 "processor blocked with an empty mailbox — protocol deadlock");
+    lk.unlock();
+    machine_->report_deadlock(
+        *this, "processor blocked with an empty mailbox past the watchdog");
   }
 }
 
@@ -115,6 +167,12 @@ void Proc::barrier() {
   trace(obs::EventKind::kBarrierWait, t0, obs::kNoSpace, epoch);
 }
 
+void Proc::set_delivery(std::unique_ptr<DeliveryPolicy> policy) {
+  ACE_CHECK_MSG(!machine_->running_, "set_delivery during Machine::run");
+  delivery_ = std::move(policy);
+  hold_spin_armed_ = false;
+}
+
 Machine::Machine(std::uint32_t nprocs, CostModel cost) : cost_(cost) {
   ACE_CHECK(nprocs >= 1);
   procs_.reserve(nprocs);
@@ -122,23 +180,34 @@ Machine::Machine(std::uint32_t nprocs, CostModel cost) : cost_(cost) {
     auto proc = std::make_unique<Proc>();
     proc->machine_ = this;
     proc->id_ = p;
+    proc->send_seq_.resize(nprocs, 0);
     procs_.push_back(std::move(proc));
   }
-  barrier_arrive_ = register_handler([](Proc& self, Message& m) {
-    ACE_DCHECK(self.id() == 0);
-    self.arrivals_ += 1;
-    self.barrier_max_vtime_ = std::max(self.barrier_max_vtime_, m.args[0]);
-  });
-  barrier_release_ = register_handler([](Proc& self, Message& m) {
-    self.barrier_release_vtime_ = m.args[0];
-    self.release_epoch_ += 1;
-  });
+  barrier_arrive_ = register_handler(
+      [](Proc& self, Message& m) {
+        ACE_DCHECK(self.id() == 0);
+        self.arrivals_ += 1;
+        self.barrier_max_vtime_ = std::max(self.barrier_max_vtime_, m.args[0]);
+      },
+      "am.barrier_arrive");
+  barrier_release_ = register_handler(
+      [](Proc& self, Message& m) {
+        self.barrier_release_vtime_ = m.args[0];
+        self.release_epoch_ += 1;
+      },
+      "am.barrier_release");
 }
 
-HandlerId Machine::register_handler(Handler fn) {
+HandlerId Machine::register_handler(Handler fn, std::string name) {
   ACE_CHECK_MSG(!running_, "handlers must be registered before Machine::run");
   handlers_.push_back(std::move(fn));
+  handler_names_.push_back(std::move(name));
   return static_cast<HandlerId>(handlers_.size() - 1);
+}
+
+const char* Machine::handler_name(HandlerId h) const {
+  if (h >= handler_names_.size() || handler_names_[h].empty()) return "?";
+  return handler_names_[h].c_str();
 }
 
 void Machine::run(const ProcFn& fn) {
@@ -150,23 +219,46 @@ void Machine::run(const ProcFn& fn) {
   // residual traffic (flush lemma) so the next run starts with empty
   // mailboxes.
   std::atomic<std::uint32_t> done{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
   const auto nprocs = static_cast<std::uint32_t>(procs_.size());
   std::vector<std::thread> threads;
   threads.reserve(procs_.size());
   for (auto& proc : procs_) {
-    threads.emplace_back([&fn, &done, nprocs, p = proc.get()] {
+    threads.emplace_back([&, p = proc.get()] {
       tls_proc = p;
-      fn(*p);
+      try {
+        fn(*p);
+      } catch (...) {
+        {
+          std::lock_guard lk(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Order matters: `failed` must be visible before this processor
+        // counts as done, so every finalize loop that observes done==nprocs
+        // also observes the failure and skips the closing barriers.
+        failed.store(true, std::memory_order_release);
+      }
       done.fetch_add(1, std::memory_order_acq_rel);
       while (done.load(std::memory_order_acquire) < nprocs)
         if (p->poll() == 0) std::this_thread::sleep_for(std::chrono::microseconds(100));
-      p->barrier();
-      p->barrier();
+      if (!failed.load(std::memory_order_acquire)) {
+        p->barrier();
+        p->barrier();
+      }
+      // On failure the closing barriers are skipped on *every* processor: a
+      // thrower that stopped mid-program may have left the centralized
+      // barrier counting mid-epoch, and joining it from the survivors would
+      // corrupt the epoch bookkeeping for the next run.  Mailboxes may be
+      // left non-empty; run() rethrows below, so the machine is not assumed
+      // clean afterwards.
       tls_proc = nullptr;
     });
   }
   for (auto& t : threads) t.join();
   running_ = false;
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 Proc& Machine::self() {
@@ -192,6 +284,50 @@ void Machine::reset_stats() {
     p->stats_ = Stats{};
     p->vclock_ns_ = 0;
   }
+}
+
+ACE_NO_SANITIZE_THREAD
+void Machine::write_deadlock_report(std::ostream& os, const Proc& stuck,
+                                    const char* why) const {
+  os << "=== ace::am deadlock report ===\n";
+  os << "stuck: proc " << stuck.id_ << " — " << why << " (watchdog "
+     << watchdog.count() << " ms)\n";
+  for (const auto& p : procs_) {
+    os << "proc " << p->id_ << ": vclock_ns=" << p->vclock_ns_
+       << " barrier_epoch=" << p->barrier_epoch_
+       << " release_epoch=" << p->release_epoch_;
+    if (p->id_ == 0) os << " arrivals=" << p->arrivals_;
+    os << " sent=" << p->stats_.msgs_sent
+       << " received=" << p->stats_.msgs_received
+       << " polls=" << p->stats_.polls << "\n";
+    {
+      std::lock_guard lk(p->mail_mu_);
+      for (const Message& m : p->mailbox_) {
+        os << "  pending: handler=" << handler_name(m.handler) << "("
+           << m.handler << ") src=" << m.src << " seq=" << m.seq
+           << " arrival=" << m.arrival << " args=[";
+        for (std::size_t a = 0; a < m.args.size(); ++a)
+          os << (a != 0 ? " " : "") << m.args[a];
+        os << "] payload=" << m.payload.size() << "B\n";
+      }
+    }
+    if (p->delivery_ != nullptr) p->delivery_->dump(os);
+    for (unsigned slot = 0; slot < kCtxSlots; ++slot)
+      if (p->dumpers_[slot]) p->dumpers_[slot](os);
+  }
+  os << "=== end deadlock report ===\n";
+}
+
+void Machine::report_deadlock(const Proc& stuck, const char* why) const {
+  // In a real deadlock several processors hit their watchdogs together;
+  // only the first reporter writes (the lock is never released — the
+  // report ends in abort, so latecomers just park until the process dies).
+  static std::mutex report_mu;
+  report_mu.lock();
+  write_deadlock_report(std::cerr, stuck, why);
+  std::cerr.flush();
+  check_failed("wait_for_mail watchdog", __FILE__, __LINE__,
+               "protocol deadlock — structured report above");
 }
 
 void Machine::enable_tracing(std::size_t events_per_proc) {

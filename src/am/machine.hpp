@@ -18,11 +18,15 @@
 // stats.hpp for why experiments report modeled time.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -35,6 +39,8 @@
 namespace ace::am {
 
 class Machine;
+class DeliveryPolicy;
+struct ChaosOptions;
 
 /// Context-slot indices for layers that attach per-processor state to a Proc.
 enum CtxSlot : unsigned { kCtxAce = 0, kCtxCrl = 1, kCtxApp = 2, kCtxSlots = 4 };
@@ -42,6 +48,7 @@ enum CtxSlot : unsigned { kCtxAce = 0, kCtxCrl = 1, kCtxApp = 2, kCtxSlots = 4 }
 class Proc {
  public:
   Proc() = default;
+  ~Proc();  // out of line: unique_ptr<DeliveryPolicy> needs the full type
   Proc(const Proc&) = delete;
   Proc& operator=(const Proc&) = delete;
 
@@ -104,6 +111,19 @@ class Proc {
   void* ctx(CtxSlot slot) const { return ctx_[slot]; }
   void set_ctx(CtxSlot slot, void* p) { ctx_[slot] = p; }
 
+  /// A layer attached to a ctx slot may register a state dumper; the
+  /// deadlock report calls every registered dumper so the report shows each
+  /// DSM layer's region/protocol state, not just raw mailboxes.
+  void set_state_dumper(CtxSlot slot, std::function<void(std::ostream&)> fn) {
+    dumpers_[slot] = std::move(fn);
+  }
+
+  /// Install a delivery policy (fault injection / replay; see
+  /// am/delivery.hpp) or reset to the default FIFO drain with nullptr.
+  /// Must not be called while the machine is running.
+  void set_delivery(std::unique_ptr<DeliveryPolicy> policy);
+  DeliveryPolicy* delivery() const { return delivery_.get(); }
+
   /// Machine-wide barrier (control-network style; used by DSM layers as the
   /// raw synchronization mechanism under protocol barrier hooks).
   void barrier();
@@ -114,6 +134,10 @@ class Proc {
   void enqueue(Message&& m);
   /// Blocks until the mailbox is (probably) non-empty; watchdog inside.
   void wait_for_mail();
+  /// Dispatch one released message (shared by the FIFO and policy paths).
+  void dispatch(Message& m, std::uint64_t jitter_ns);
+  /// The policy half of poll(): the installed policy picks the order.
+  std::size_t poll_policy(std::deque<Message>&& batch);
 
   Machine* machine_ = nullptr;
   ProcId id_ = 0;
@@ -121,6 +145,16 @@ class Proc {
   Stats stats_;
   obs::TraceRing* trace_ = nullptr;
   void* ctx_[kCtxSlots] = {};
+  std::function<void(std::ostream&)> dumpers_[kCtxSlots];
+
+  // Delivery-policy seam (null = the default strict-FIFO drain).
+  std::unique_ptr<DeliveryPolicy> delivery_;
+  std::vector<std::uint64_t> send_seq_;  ///< per-destination sequence counters
+  std::uint64_t arrival_seq_ = 0;        ///< under mail_mu_
+  // A policy holding parked messages turns wait_for_mail into a poll spin;
+  // this clock bounds that spin so a stuck replay still hits the watchdog.
+  bool hold_spin_armed_ = false;
+  std::chrono::steady_clock::time_point hold_spin_start_{};
 
   // Barrier bookkeeping (centralized at proc 0; see machine.cpp).
   std::uint32_t barrier_epoch_ = 0;       // epochs this proc has completed
@@ -147,7 +181,11 @@ class Machine {
 
   /// Register a handler; must happen before run().  Returns a stable id
   /// valid on every processor (SPMD: same handler table machine-wide).
-  HandlerId register_handler(Handler fn);
+  /// `name` is optional and only used by diagnostics (deadlock reports,
+  /// delivery-policy dumps).
+  HandlerId register_handler(Handler fn, std::string name = {});
+  /// The registered name of `h` ("?" if none was given).
+  const char* handler_name(HandlerId h) const;
 
   /// Run `fn` on every processor (SPMD).  May be called repeatedly; per-proc
   /// state (ctx slots, clocks, stats) persists across runs.
@@ -171,6 +209,30 @@ class Machine {
   /// Convenience: export the recorded trace as Chrome trace-event JSON.
   bool write_trace(const std::string& path) const;
 
+  // --- fault injection (ace::am delivery policies) -----------------------
+  /// Install a seeded ChaosPolicy on every processor (legal delivery
+  /// perturbation; see am/delivery.hpp).  Call outside run().
+  void set_chaos(const ChaosOptions& opt);
+  /// Install ReplayPolicies re-imposing `logs` (one log per processor, as
+  /// returned by delivery_logs()); the run reproduces the logged schedule
+  /// and jitter bit-for-bit.
+  void set_replay(std::vector<DeliveryLog> logs);
+  /// Remove every delivery policy (back to the default FIFO drain).
+  void clear_delivery();
+  /// Snapshot every processor's delivery log (empty entries for processors
+  /// without a logging policy).  Call outside run().
+  std::vector<DeliveryLog> delivery_logs() const;
+
+  /// Write the structured deadlock report: per-processor virtual clocks and
+  /// barrier epochs, pending mailbox contents, delivery-policy state, and
+  /// every registered DSM-layer state dumper.  Best-effort by design: it
+  /// runs on the stuck processor's thread while others may still be live
+  /// (this is the abort path).
+  void write_deadlock_report(std::ostream& os, const Proc& stuck,
+                             const char* why) const;
+  /// Print the report to stderr, then abort via check_failed.
+  [[noreturn]] void report_deadlock(const Proc& stuck, const char* why) const;
+
   /// Barrier traffic models the CM-5's dedicated control network: it is
   /// counted in message statistics but charges no data-network time.
   bool is_barrier_handler(HandlerId h) const {
@@ -178,8 +240,9 @@ class Machine {
   }
 
   /// Watchdog for wait_until; generous because benches serialize many
-  /// processors onto few host cores.
-  std::chrono::seconds watchdog{120};
+  /// processors onto few host cores.  (Milliseconds so tests that exercise
+  /// the deadlock report can keep their death-test children fast.)
+  std::chrono::milliseconds watchdog{120'000};
 
  private:
   friend class Proc;
@@ -188,6 +251,7 @@ class Machine {
   std::vector<std::unique_ptr<Proc>> procs_;
   std::vector<std::unique_ptr<obs::TraceRing>> rings_;
   std::vector<Handler> handlers_;
+  std::vector<std::string> handler_names_;
   HandlerId barrier_arrive_ = 0;
   HandlerId barrier_release_ = 0;
   bool running_ = false;

@@ -26,6 +26,27 @@ struct Message {
   /// Virtual time at which the message left the sender (ns); used by the
   /// cost model to order delivery against the receiver's clock.
   std::uint64_t send_vtime_ns = 0;
+  /// Sender-assigned sequence number, monotone per (src, dst) pair starting
+  /// at 1.  (src, seq) names a message uniquely at its destination; delivery
+  /// policies key their decisions and logs on it.
+  std::uint64_t seq = 0;
+  /// Receiver-assigned arrival index (stamped under the mailbox lock), the
+  /// total order delivery policies perturb and the deadlock report shows.
+  std::uint64_t arrival = 0;
 };
+
+/// One delivered message as recorded by a logging DeliveryPolicy (see
+/// am/delivery.hpp).  (src, seq) identifies the message; handler is kept as
+/// a cross-check; jitter_ns is the extra modeled latency the policy charged
+/// so a replay reproduces virtual clocks bit-for-bit.
+struct DeliveryRecord {
+  ProcId src = 0;
+  std::uint64_t seq = 0;
+  HandlerId handler = 0;
+  std::uint64_t jitter_ns = 0;
+};
+
+/// One processor's deliveries, in dispatch order.
+using DeliveryLog = std::vector<DeliveryRecord>;
 
 }  // namespace ace::am

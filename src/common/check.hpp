@@ -10,11 +10,29 @@
 
 namespace ace {
 
+/// Hook run once just before a failed check aborts.  Tools install one to
+/// persist diagnostic state (acefuzz dumps the chaos delivery logs so a
+/// failing schedule can be replayed).  A plain function pointer, installed
+/// before Machine::run and never swapped while processors are live; it is
+/// cleared before being invoked so a hook that itself fails cannot recurse.
+using CheckHook = void (*)();
+
+inline CheckHook& check_hook_slot() {
+  static CheckHook hook = nullptr;
+  return hook;
+}
+
+inline void set_check_hook(CheckHook hook) { check_hook_slot() = hook; }
+
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const char* msg) {
   std::fprintf(stderr, "ACE_CHECK failed: %s (%s:%d)%s%s\n", expr, file, line,
                msg ? " — " : "", msg ? msg : "");
   std::fflush(stderr);
+  if (CheckHook hook = check_hook_slot()) {
+    check_hook_slot() = nullptr;
+    hook();
+  }
   std::abort();
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <ostream>
 
 namespace crl {
 
@@ -42,13 +43,13 @@ void CrlStats::merge(const CrlStats& o) {
 CrlRuntime::CrlRuntime(Machine& machine) : machine_(machine) {
   procs_.resize(machine.nprocs());
   h_op_ = machine_.register_handler(
-      [](Proc& p, Message& m) { cproc_of(p).handle(m); });
+      [](Proc& p, Message& m) { cproc_of(p).handle(m); }, "crl.op");
   h_bcast_ = machine_.register_handler([](Proc& p, Message& m) {
     CrlProc& cp = cproc_of(p);
     ACE_CHECK_MSG(!cp.coll_.flag, "overlapping CRL collectives");
     cp.coll_.buf = std::move(m.payload);
     cp.coll_.flag = true;
-  });
+  }, "crl.bcast");
   h_gather_ = machine_.register_handler([](Proc& p, Message& m) {
     CrlProc& cp = cproc_of(p);
     cp.coll_.arrived += 1;
@@ -56,7 +57,7 @@ CrlRuntime::CrlRuntime(Machine& machine) : machine_(machine) {
       cp.coll_.sum += bits_double(m.args[0]);
     else
       cp.coll_.min = std::min(cp.coll_.min, m.args[0]);
-  });
+  }, "crl.gather");
 }
 
 void CrlRuntime::run(const std::function<void(CrlProc&)>& fn) {
@@ -85,9 +86,38 @@ CrlStats CrlRuntime::aggregate_stats() const {
 CrlProc::CrlProc(CrlRuntime& rt, Proc& proc)
     : rt_(rt), proc_(proc), mapper_(regions_) {
   proc_.set_ctx(ace::am::kCtxCrl, this);
+  proc_.set_state_dumper(ace::am::kCtxCrl,
+                         [this](std::ostream& os) { dump_state(os); });
 }
 
-CrlProc::~CrlProc() { proc_.set_ctx(ace::am::kCtxCrl, nullptr); }
+CrlProc::~CrlProc() {
+  proc_.set_state_dumper(ace::am::kCtxCrl, nullptr);
+  proc_.set_ctx(ace::am::kCtxCrl, nullptr);
+}
+
+void CrlProc::dump_state(std::ostream& os) {
+  os << "  crl runtime: " << regions_.count() << " regions\n";
+  regions_.for_each([&](Region& r) {
+    os << "    region " << std::hex << "0x" << r.id() << std::dec
+       << (r.is_home() ? " home(self)" : "") << " home=" << r.home_proc()
+       << " rstate=" << rstate(r) << " pstate=0x" << std::hex << r.pstate
+       << std::dec << " maps=" << r.map_count << " rd=" << r.active_readers
+       << " wr=" << r.active_writers << " op_done=" << r.op_done;
+    if (auto* dir = dynamic_cast<HomeDir*>(r.ext.get())) {
+      os << " dir{owner=";
+      if (dir->owner == ace::dsm::kNoProc)
+        os << "-";
+      else
+        os << dir->owner;
+      os << " sharers=" << dir->sharers.size() << " busy=" << dir->busy
+         << " pending_acks=" << dir->pending_acks
+         << " queue=" << dir->queue.size() << "}";
+    }
+    os << "\n";
+  });
+  os << "    collective: flag=" << coll_.flag << " arrived=" << coll_.arrived
+     << " buf=" << coll_.buf.size() << "B\n";
+}
 
 void CrlProc::send_op(ProcId dst, rid_t rid, Op op, std::uint64_t a,
                       std::vector<std::byte> payload) {

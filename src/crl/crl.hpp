@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -87,6 +88,11 @@ class CrlProc {
   ProcId me() const { return proc_.id(); }
   std::uint32_t nprocs() const { return proc_.nprocs(); }
   CrlStats& stats() { return stats_; }
+
+  /// Write this processor's CRL state (regions, MSI states, home directory
+  /// entries) for the machine's deadlock report; registered as the kCtxCrl
+  /// state dumper.
+  void dump_state(std::ostream& os);
 
  private:
   friend class CrlRuntime;

@@ -176,6 +176,13 @@ class RegionSet {
       if (r->meta_valid() && r->space() == space) fn(*r);
   }
 
+  /// Every region this processor knows about, in creation order (used by
+  /// the deadlock report's state dump).
+  template <class Fn>
+  void for_each(Fn&& fn) {
+    for (auto& r : regions_) fn(*r);
+  }
+
   std::size_t count() const { return regions_.size(); }
 
  private:

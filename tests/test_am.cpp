@@ -4,8 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "am/machine.hpp"
@@ -217,6 +219,64 @@ TEST(Machine, MultipleRunsPreserveMachine) {
       p.barrier();
     });
   EXPECT_EQ(runs, 3);
+}
+
+TEST(Machine, RunRethrowsProcFnException) {
+  // A throwing ProcFn used to leave the other processors parked in the
+  // closing barrier forever; run() must join everyone and rethrow.
+  Machine m(4);
+  EXPECT_THROW(
+      m.run([](Proc& p) {
+        if (p.id() == 2) throw std::runtime_error("app failure");
+        // The other procs return normally and must not hang.
+      }),
+      std::runtime_error);
+}
+
+TEST(Machine, BarrierEpochContinuityAcrossRuns) {
+  // Barriers inside a second run() must still synchronize (the epoch
+  // counters carry across runs; a stale epoch would let a proc sail through
+  // a barrier opened in the previous run).
+  constexpr int kProcs = 4;
+  Machine m(kProcs);
+  std::atomic<int> counter{0};
+  for (int run = 0; run < 3; ++run) {
+    m.run([&](Proc& p) {
+      for (int i = 0; i < 5; ++i) {
+        if (p.id() == 0) counter.fetch_add(1);
+        p.barrier();
+        EXPECT_EQ(counter.load(), run * 5 + i + 1);
+        p.barrier();
+      }
+    });
+  }
+}
+
+TEST(Machine, ResetStatsMakesRepsReproducible) {
+  // The bench-rep pattern: run, reset_stats, run again — the second rep's
+  // modeled time and message counts must equal the first's (nothing from
+  // rep 1 may leak into rep 2's clocks or counters).
+  Machine m(3);
+  std::vector<std::uint64_t> got(3, 0);
+  const auto h = m.register_handler(
+      [&](Proc& self, Message&) { got[self.id()] += 1; });
+  const auto rep = [&] {
+    std::fill(got.begin(), got.end(), 0);
+    m.run([&](Proc& p) {
+      p.charge(1000 * (p.id() + 1));
+      const ProcId next = static_cast<ProcId>((p.id() + 1) % 3);
+      for (int i = 0; i < 4; ++i) p.send(next, h, {});
+      p.wait_until([&] { return got[p.id()] == 4; });
+      p.barrier();
+    });
+  };
+  rep();
+  const auto msgs1 = m.aggregate_stats().msgs_sent;
+  const auto t1 = m.max_vclock_ns();
+  m.reset_stats();
+  rep();
+  EXPECT_EQ(m.aggregate_stats().msgs_sent, msgs1);
+  EXPECT_EQ(m.max_vclock_ns(), t1);
 }
 
 TEST(Machine, HandlerMaySendMessages) {
