@@ -61,6 +61,10 @@ int main(int argc, char** argv) {
   const bool trace = cli.get_bool("trace", false);
   const auto chaos_seed =
       static_cast<std::uint64_t>(cli.get_int("chaos-seed", 0));
+  // --auto adds adaptive-advisor rows: EM3D and Water run with advisors
+  // switching protocols (Ace_AutoSpace semantics), TSP in record-only
+  // advise mode (its bound space is latency-critical; see apps/tsp.hpp).
+  const bool auto_mode = cli.get_bool("auto", false);
   cli.finish();
 
   auto trace_opt = [&](const std::string& app) {
@@ -76,6 +80,7 @@ int main(int argc, char** argv) {
       procs, full ? "paper-scale" : "scaled");
 
   std::vector<Row> rows;
+  std::vector<bench::Row> auto_rows;
 
   {
     BhParams p;
@@ -123,6 +128,12 @@ int main(int argc, char** argv) {
     sta.custom = bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); },
                                 trace_opt("em3d_static"));
     rows.push_back(sta);
+    if (auto_mode) {
+      p.protocol = kAutoProtocol;
+      auto_rows.push_back(
+          {"EM3D", "Auto",
+           bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); })});
+    }
   }
   {
     // Parallel branch-and-bound is noisy (the shared bound races); sum over
@@ -141,6 +152,15 @@ int main(int argc, char** argv) {
       bench::accumulate(row.custom, a1);
     }
     rows.push_back(row);
+    if (auto_mode) {
+      p.seed = seed;
+      p.custom_counter = true;
+      p.auto_advise = true;
+      auto_rows.push_back(
+          {"TSP", "Auto (advise-only)",
+           bench::run_ace(procs, [&](AceApi& a) { tsp_run(a, p); })});
+      p.auto_advise = false;
+    }
   }
   {
     WaterParams p;
@@ -155,6 +175,13 @@ int main(int argc, char** argv) {
     row.custom = bench::run_ace(procs, [&](AceApi& a) { water_run(a, p); },
                                 trace_opt("water"));
     rows.push_back(row);
+    if (auto_mode) {
+      p.custom_protocols = false;
+      p.auto_protocols = true;
+      auto_rows.push_back(
+          {"Water", "Auto",
+           bench::run_ace(procs, [&](AceApi& a) { water_run(a, p); })});
+    }
   }
 
   print(rows);
@@ -169,6 +196,7 @@ int main(int argc, char** argv) {
     rep.push_back({app, "SC", r.sc});
     rep.push_back({app, r.protocol, r.custom});
   }
+  rep.insert(rep.end(), auto_rows.begin(), auto_rows.end());
   bench::report("fig7b", rep);
   return 0;
 }

@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "adapt/advisor.hpp"
 #include "am/delivery.hpp"
 #include "apps/api.hpp"
 #include "common/table.hpp"
@@ -42,6 +43,10 @@ struct RunResult {
   /// cover space-attributed traffic (protocol, lock, and map messages);
   /// collective and barrier traffic stays machine-level in `msgs`/`mbytes`.
   std::vector<ace::obs::SpaceMetrics> spaces;
+  /// Adaptive-advisor decision logs, when the run attached advisors
+  /// (Ace_AutoSpace / auto modes); empty otherwise.  Serialized into the
+  /// BENCH json's "advisor" section.
+  std::vector<ace::adapt::SpaceDecisions> decisions;
 };
 
 /// Optional per-run knobs (virtual-time tracing, fault injection).
@@ -87,6 +92,7 @@ inline RunResult run_ace(std::uint32_t procs,
   r.msgs = s.msgs_sent;
   r.mbytes = static_cast<double>(s.bytes_sent) / 1e6;
   r.spaces = rt.aggregate_space_metrics();
+  r.decisions = ace::adapt::collect_decisions(rt);
   return r;
 }
 
@@ -196,6 +202,31 @@ inline std::string to_json(const std::string& name,
       w.end_object();
     }
     w.end_array();
+    if (!row.res.decisions.empty()) {
+      // Compact advisor log (the full signatures/cost vectors live in the
+      // ADVISOR_<tag>.json written by ace::adapt::write_report).
+      w.key("advisor");
+      w.begin_array();
+      for (const auto& sd : row.res.decisions) {
+        w.begin_object();
+        w.kv("space", static_cast<std::uint64_t>(sd.space));
+        w.kv("mode", sd.execute ? "auto" : "advise");
+        w.key("decisions");
+        w.begin_array();
+        for (const auto& d : sd.decisions) {
+          w.begin_object();
+          w.kv("epoch", d.epoch);
+          w.kv("current", d.current);
+          w.kv("chosen", d.chosen);
+          w.kv("reason", d.reason);
+          w.kv("switched", d.switched);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+    }
     w.end_object();
   }
   w.end_array();

@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "ace/runtime.hpp"
+#include "bench/micro_report.hpp"
 
 namespace {
 
@@ -75,4 +76,6 @@ BENCHMARK(BM_RawProtocolHook);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bench::micro_main("micro_dispatch", argc, argv);
+}

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/micro_report.hpp"
 #include "dsm/mapper.hpp"
 
 namespace {
@@ -75,4 +76,6 @@ BENCHMARK(BM_FastMapperChurn)->Arg(32)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return bench::micro_main("micro_map", argc, argv);
+}

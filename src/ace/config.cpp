@@ -60,6 +60,17 @@ const std::map<std::string_view, unsigned> kHookKeys = {
     {"unlock", kHookUnlock},
 };
 
+/// Cost-descriptor keys (the adaptive advisor's registration facts).  The
+/// write-policy names are the identifiers a registration script may emit.
+const std::map<std::string_view, WritePolicy> kWritePolicies = {
+    {"invalidate", WritePolicy::kInvalidate},
+    {"push_on_write", WritePolicy::kPushOnWrite},
+    {"push_at_barrier", WritePolicy::kPushAtBarrier},
+    {"home_fetch", WritePolicy::kHomeFetch},
+    {"migrate", WritePolicy::kMigrate},
+    {"local_only", WritePolicy::kLocalOnly},
+};
+
 bool fail(ConfigError* err, int line, std::string msg) {
   if (err != nullptr) *err = {std::move(msg), line};
   return false;
@@ -77,24 +88,62 @@ bool parse_protocol(Lexer& lx, ProtocolInfo* out, ConfigError* err) {
     if (key == "}") return true;
     if (key.empty()) return fail(err, lx.line, "unterminated protocol block");
     const std::string_view value = lx.next();
+    if (value.empty())
+      return fail(err, lx.line,
+                  "expected a value for key '" + std::string(key) + "'");
+    if (lx.next() != ";") return fail(err, lx.line, "expected ';'");
+    if (key == "write_policy") {
+      auto it = kWritePolicies.find(value);
+      if (it == kWritePolicies.end())
+        return fail(err, lx.line,
+                    "unknown write_policy '" + std::string(value) + "'");
+      out->costs.write_policy = it->second;
+      continue;
+    }
+    if (key == "barrier_rounds") {
+      std::uint32_t n = 0;
+      for (const char c : value) {
+        if (!std::isdigit(static_cast<unsigned char>(c)))
+          return fail(err, lx.line,
+                      "expected an integer for key 'barrier_rounds'");
+        n = n * 10 + static_cast<std::uint32_t>(c - '0');
+      }
+      if (n == 0)
+        return fail(err, lx.line, "barrier_rounds must be at least 1");
+      out->costs.barrier_rounds = n;
+      continue;
+    }
+    // Every remaining key takes yes/no.
     if (value != "yes" && value != "no")
       return fail(err, lx.line,
                   "expected yes/no for key '" + std::string(key) + "'");
-    if (lx.next() != ";") return fail(err, lx.line, "expected ';'");
+    const bool on = (value == "yes");
     if (key == "optimizable") {
-      out->optimizable = (value == "yes");
+      out->optimizable = on;
     } else if (key == "merge_rw") {
-      out->merge_rw = (value == "yes");
+      out->merge_rw = on;
+    } else if (key == "remote_writes") {
+      out->costs.remote_writes = on;
+    } else if (key == "coherent") {
+      out->costs.coherent = on;
+    } else if (key == "advisable") {
+      out->costs.advisable = on;
     } else {
       auto it = kHookKeys.find(key);
       if (it == kHookKeys.end())
         return fail(err, lx.line, "unknown key '" + std::string(key) + "'");
-      if (value == "yes") out->hooks |= it->second;
+      if (on) out->hooks |= it->second;
     }
   }
 }
 
 }  // namespace
+
+const char* to_string(WritePolicy p) {
+  for (const auto& [name, policy] : kWritePolicies)
+    if (policy == p) return name.data();
+  return "?";
+}
 
 std::vector<ProtocolInfo> parse_config(std::string_view text,
                                        ConfigError* err) {
@@ -131,6 +180,15 @@ std::string render_config(const std::vector<ProtocolInfo>& infos) {
     out += info.optimizable ? "yes" : "no";
     out += ";\n  merge_rw ";
     out += info.merge_rw ? "yes" : "no";
+    out += ";\n  write_policy ";
+    out += to_string(info.costs.write_policy);
+    out += "; barrier_rounds " + std::to_string(info.costs.barrier_rounds);
+    out += "; remote_writes ";
+    out += info.costs.remote_writes ? "yes" : "no";
+    out += ";\n  coherent ";
+    out += info.costs.coherent ? "yes" : "no";
+    out += "; advisable ";
+    out += info.costs.advisable ? "yes" : "no";
     out += ";\n}\n";
   }
   return out;
@@ -142,59 +200,79 @@ std::string default_config_text() {
   // Registry::with_builtins time).
   return R"(# Ace system configuration file — shipped protocol library.
 # Generated by the protocol registration scripts (paper Figure 1).
+# write_policy/barrier_rounds/remote_writes/coherent/advisable are the
+# cost-descriptor facts the adaptive advisor (src/adapt) consumes.
 
 protocol SC {
   start_read yes; end_read yes; start_write yes; end_write yes;
   barrier yes; lock yes; unlock yes;
   optimizable no;
+  write_policy invalidate; barrier_rounds 1; remote_writes yes;
+  coherent yes; advisable yes;
 }
 
 protocol Null {
   start_read no; end_read no; start_write no; end_write no;
   barrier yes; lock yes; unlock yes;
   optimizable yes;
+  write_policy local_only; barrier_rounds 1; remote_writes yes;
+  coherent no; advisable no;
 }
 
 protocol DynamicUpdate {
   start_read yes; end_read no; start_write yes; end_write yes;
   barrier yes; lock yes; unlock yes;
   optimizable yes;
+  write_policy push_on_write; barrier_rounds 2; remote_writes yes;
+  coherent yes; advisable yes;
 }
 
 protocol StaticUpdate {
   start_read yes; end_read no; start_write no; end_write yes;
   barrier yes; lock yes; unlock yes;
   optimizable yes; merge_rw yes;
+  write_policy push_at_barrier; barrier_rounds 1; remote_writes no;
+  coherent yes; advisable yes;
 }
 
 protocol Migratory {
   start_read yes; end_read yes; start_write yes; end_write yes;
   barrier yes; lock yes; unlock yes;
   optimizable no;
+  write_policy migrate; barrier_rounds 1; remote_writes yes;
+  coherent yes; advisable yes;
 }
 
 protocol HomeWrite {
   start_read yes; end_read no; start_write no; end_write yes;
   barrier yes; lock yes; unlock yes;
   optimizable yes; merge_rw yes;
+  write_policy home_fetch; barrier_rounds 1; remote_writes no;
+  coherent yes; advisable yes;
 }
 
 protocol PipelinedWrite {
   start_read yes; end_read no; start_write yes; end_write yes;
   barrier yes; lock yes; unlock yes;
   optimizable yes;
+  write_policy push_at_barrier; barrier_rounds 1; remote_writes yes;
+  coherent yes; advisable no;
 }
 
 protocol Counter {
   start_read no; end_read no; start_write yes; end_write no;
   barrier yes; lock yes; unlock yes;
   optimizable no;
+  write_policy home_fetch; barrier_rounds 1; remote_writes yes;
+  coherent yes; advisable no;
 }
 
 protocol RaceCheck {
   start_read yes; end_read yes; start_write yes; end_write yes;
   barrier yes; lock yes; unlock yes;
   optimizable no;
+  write_policy invalidate; barrier_rounds 1; remote_writes yes;
+  coherent yes; advisable no;
 }
 )";
 }

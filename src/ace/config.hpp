@@ -48,4 +48,8 @@ std::string default_config_text();
 /// parse_config).
 std::string render_config(const std::vector<ProtocolInfo>& infos);
 
+/// The configuration-file identifier for a write policy ("invalidate",
+/// "push_on_write", ...).
+const char* to_string(WritePolicy p);
+
 }  // namespace ace

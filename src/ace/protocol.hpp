@@ -48,6 +48,44 @@ inline constexpr unsigned kAllHooks =
     kHookStartRead | kHookEndRead | kHookStartWrite | kHookEndWrite |
     kHookBarrier | kHookLock | kHookUnlock;
 
+/// How a protocol propagates writes to other processors — the axis the
+/// adaptive advisor's cost model (src/adapt) discriminates on.  Declared at
+/// registration time next to the hook set, because it is a *promise about
+/// semantics* the runtime cannot infer from the hook bits alone.
+enum class WritePolicy : std::uint8_t {
+  kInvalidate,     ///< exclusivity + invalidations; readers refetch (SC)
+  kPushOnWrite,    ///< every END_WRITE pushes data to sharers (DynamicUpdate)
+  kPushAtBarrier,  ///< dirty regions pushed once per barrier (StaticUpdate)
+  kHomeFetch,      ///< consumers invalidate + refetch per epoch (HomeWrite)
+  kMigrate,        ///< data/ownership moves to the accessor (Migratory)
+  kLocalOnly,      ///< no coherence traffic at all (Null)
+};
+
+/// Per-protocol cost descriptor: the registration-time facts the adaptive
+/// advisor needs to predict a protocol's per-phase cost and to know whether
+/// it is even a *legal* target for an automatic Ace_ChangeProtocol.
+struct ProtocolCosts {
+  WritePolicy write_policy = WritePolicy::kInvalidate;
+  /// Machine barriers one Ace_Barrier on this protocol costs (update
+  /// protocols pay extra rounds to drain pushes).
+  std::uint32_t barrier_rounds = 1;
+  /// Whether non-home writes are legal (StaticUpdate/HomeWrite ACE_CHECK
+  /// that writes are owner-computes; choosing them for a space with remote
+  /// writers would abort the program, so the advisor must know).
+  bool remote_writes = true;
+  /// Whether reads observe remote writes of the previous epoch.  An
+  /// incoherent protocol (Null) is never chosen automatically unless the
+  /// application opts in: past observation cannot prove future privacy.
+  bool coherent = true;
+  /// Whether the advisor may select this protocol at all.  Semantic
+  /// protocols (Counter's fetch-and-add, PipelinedWrite's accumulation,
+  /// RaceCheck's diagnostics) change the *meaning* of accesses, not just
+  /// their cost, so swapping them in or out is never a pure optimization.
+  bool advisable = false;
+
+  bool operator==(const ProtocolCosts&) const = default;
+};
+
 /// Static description of a protocol — the contents of the registration
 /// script in Figure 1: name, hook points, and whether the protocol's
 /// semantics permit the compiler's code-motion optimizations (§4.2: "we
@@ -66,6 +104,8 @@ struct ProtocolInfo {
   /// whose writes are plain home-local stores) — NOT for PipelinedWrite,
   /// whose start_write re-initializes the accumulation scratch.
   bool merge_rw = false;
+  /// Cost/legality descriptor for the adaptive advisor (src/adapt).
+  ProtocolCosts costs;
 };
 
 class Protocol {

@@ -84,6 +84,9 @@ Registry Registry::with_builtins() {
                       builtin.optimizable == info.optimizable &&
                       builtin.merge_rw == info.merge_rw,
                   "protocols.cfg disagrees with a builtin's static_info");
+    ACE_CHECK_MSG(builtin.costs == info.costs,
+                  "protocols.cfg cost descriptor disagrees with a builtin's "
+                  "static_info");
   }
   return reg;
 }

@@ -84,6 +84,22 @@ Runtime::Runtime(am::Machine& machine, Registry registry)
     else
       rp.coll_.min = std::min(rp.coll_.min, m.args[0]);
   }, "ace.gather");
+
+  h_reduce_u64_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
+    RuntimeProc& rp = rproc_of(p);
+    const std::size_t n = m.payload.size() / sizeof(std::uint64_t);
+    auto& acc = rp.coll_.vec;
+    if (acc.size() < n) acc.resize(n, 0);
+    std::uint64_t v;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::memcpy(&v, m.payload.data() + i * sizeof v, sizeof v);
+      if (m.args[0] == 0)
+        acc[i] += v;
+      else
+        acc[i] = std::max(acc[i], v);
+    }
+    rp.coll_.arrived += 1;
+  }, "ace.reduce_u64");
 }
 
 void Runtime::run(const std::function<void(RuntimeProc&)>& fn) {
@@ -212,6 +228,14 @@ Protocol& RuntimeProc::protocol_of(Region& r) {
   return space(r.space()).protocol();
 }
 
+SpaceObserver* RuntimeProc::attach_observer(SpaceId s,
+                                            std::unique_ptr<SpaceObserver> o) {
+  space(s);  // validates the space id
+  if (observers_.size() <= s) observers_.resize(s + 1);
+  observers_[s] = std::move(o);
+  return observers_[s].get();
+}
+
 SpaceId RuntimeProc::new_space(const std::string& protocol) {
   // Collective by construction: every processor executes the same sequence
   // of Ace_NewSpace calls (SPMD), so ids agree machine-wide.
@@ -247,6 +271,7 @@ void RuntimeProc::change_protocol(SpaceId s, const std::string& protocol) {
   sp.protocol().init(sp);
   proc_.barrier();
   proc_.trace(obs::EventKind::kChangeProtocol, t0, s);
+  if (SpaceObserver* o = observer(s)) o->on_protocol_change(s, protocol);
 }
 
 RegionId RuntimeProc::gmalloc(SpaceId s, std::uint32_t size) {
@@ -307,6 +332,7 @@ void RuntimeProc::start_read(void* mapped) {
   protocol_of(r).start_read(r);
   r.active_readers += 1;
   proc_.trace(obs::EventKind::kStartRead, t0, r.space(), r.id());
+  if (SpaceObserver* o = observer(r.space())) o->on_read(r);
 }
 
 void RuntimeProc::end_read(void* mapped) {
@@ -328,6 +354,7 @@ void RuntimeProc::start_write(void* mapped) {
   protocol_of(r).start_write(r);
   r.active_writers += 1;
   proc_.trace(obs::EventKind::kStartWrite, t0, r.space(), r.id());
+  if (SpaceObserver* o = observer(r.space())) o->on_write(r);
 }
 
 void RuntimeProc::end_write(void* mapped) {
@@ -353,6 +380,7 @@ void RuntimeProc::start_read_direct(Region& r, Protocol& proto) {
   proto.start_read(r);
   r.active_readers += 1;
   proc_.trace(obs::EventKind::kStartRead, t0, r.space(), r.id());
+  if (SpaceObserver* o = observer(r.space())) o->on_read(r);
 }
 
 void RuntimeProc::end_read_direct(Region& r, Protocol& proto) {
@@ -371,6 +399,7 @@ void RuntimeProc::start_write_direct(Region& r, Protocol& proto) {
   proto.start_write(r);
   r.active_writers += 1;
   proc_.trace(obs::EventKind::kStartWrite, t0, r.space(), r.id());
+  if (SpaceObserver* o = observer(r.space())) o->on_write(r);
 }
 
 void RuntimeProc::end_write_direct(Region& r, Protocol& proto) {
@@ -388,6 +417,9 @@ void RuntimeProc::ace_barrier(SpaceId s) {
   proc_.charge(cost().dispatch_ns);
   space(s).protocol().barrier();
   proc_.trace(obs::EventKind::kAceBarrier, t0, s);
+  // After the protocol barrier every processor is at this epoch boundary, so
+  // the observer may run collective work (the advisor's decision point).
+  if (SpaceObserver* o = observer(s)) o->on_barrier(s);
 }
 
 void RuntimeProc::ace_lock(void* mapped) {
@@ -558,6 +590,29 @@ double RuntimeProc::allreduce_sum(double v) {
   }
   bcast_bytes(&v, sizeof v, 0);
   return v;
+}
+
+void RuntimeProc::allreduce_u64(std::uint64_t* v, std::uint32_t n,
+                                ReduceOp op) {
+  if (n == 0) return;
+  if (me() == 0) {
+    auto& acc = coll_.vec;
+    if (acc.size() < n) acc.resize(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i)
+      acc[i] = op == ReduceOp::kSum ? acc[i] + v[i] : std::max(acc[i], v[i]);
+    coll_.arrived += 1;
+    proc_.wait_until([this] { return coll_.arrived == nprocs(); });
+    ACE_CHECK_MSG(coll_.vec.size() == n, "allreduce_u64 length mismatch");
+    for (std::uint32_t i = 0; i < n; ++i) v[i] = coll_.vec[i];
+    coll_.vec.clear();
+    coll_.arrived = 0;
+  } else {
+    std::vector<std::byte> payload(n * sizeof(std::uint64_t));
+    std::memcpy(payload.data(), v, payload.size());
+    proc_.send(0, rt_.h_reduce_u64_,
+               {op == ReduceOp::kSum ? 0ull : 1ull}, std::move(payload));
+  }
+  bcast_bytes(v, n * sizeof(std::uint64_t), 0);
 }
 
 std::uint64_t RuntimeProc::allreduce_min(std::uint64_t v) {

@@ -59,6 +59,28 @@ class Space {
 
 class Runtime;
 
+/// Observation seam on the annotation dispatch path.  At most one observer
+/// per (processor, space); the runtime calls it after the protocol hook has
+/// run, so observers see the post-protocol region state (miss already
+/// serviced, counters already charged).  The adaptive advisor (src/adapt)
+/// is the shipped implementation; the seam lives here so the core never
+/// depends on the layers above it.
+///
+/// `on_barrier` runs after the space's protocol barrier completes — every
+/// processor is at the same epoch, so an observer may safely issue
+/// *collective* operations (reductions, Ace_ChangeProtocol) from it,
+/// provided it does so deterministically on all processors.
+class SpaceObserver {
+ public:
+  virtual ~SpaceObserver() = default;
+  virtual void on_read(Region&) {}
+  virtual void on_write(Region&) {}
+  virtual void on_barrier(SpaceId) {}
+  /// Called at the tail of Ace_ChangeProtocol (fresh metric segment open,
+  /// new protocol installed), including changes the observer itself issued.
+  virtual void on_protocol_change(SpaceId, const std::string& /*protocol*/) {}
+};
+
 /// Per-processor half of the runtime.  All methods must be called from the
 /// owning processor's thread (SPMD model, one user thread per processor).
 class RuntimeProc {
@@ -99,6 +121,12 @@ class RuntimeProc {
   RegionId bcast_region(RegionId id, ProcId root);
   double allreduce_sum(double v);
   std::uint64_t allreduce_min(std::uint64_t v);
+  /// Element-wise integer reduction over a fixed-length vector.  Unlike
+  /// allreduce_sum (floating point accumulated in arrival order), integer
+  /// sum/max are order-free, so the result is identical on every processor
+  /// and across delivery schedules — the advisor's decisions depend on it.
+  enum class ReduceOp : std::uint8_t { kSum, kMax };
+  void allreduce_u64(std::uint64_t* v, std::uint32_t n, ReduceOp op);
 
   // --- services for protocol implementations ------------------------------
   am::Proc& proc() { return proc_; }
@@ -131,7 +159,21 @@ class RuntimeProc {
   void reset_metrics();
 
   Space& space(SpaceId s);
+  std::uint32_t num_spaces() const {
+    return static_cast<std::uint32_t>(spaces_.size());
+  }
   dsm::RegionSet& regions() { return regions_; }
+
+  /// Attach an observer to a space (replacing any previous one; nullptr
+  /// detaches).  The runtime takes ownership.  Collective in spirit: attach
+  /// the same observer type with the same options on every processor, or an
+  /// observer that issues collectives will deadlock.  Returns the raw
+  /// pointer for caller-side bookkeeping.
+  SpaceObserver* attach_observer(SpaceId s, std::unique_ptr<SpaceObserver> o);
+  /// The observer attached to a space on this processor (nullptr if none).
+  SpaceObserver* observer(SpaceId s) const {
+    return s < observers_.size() ? observers_[s].get() : nullptr;
+  }
 
   /// Write this processor's DSM state (spaces, regions, protocol state
   /// words, locks, collective scratch) for the machine's deadlock report;
@@ -191,6 +233,8 @@ class RuntimeProc {
   // space's open segment.  See obs/metrics.hpp.
   std::vector<obs::SpaceMetrics> segs_;
   std::vector<std::uint32_t> cur_seg_;
+  // Per-space observers, indexed by SpaceId (sparse; usually empty).
+  std::vector<std::unique_ptr<SpaceObserver>> observers_;
 
   // Collective scratch state (one outstanding collective at a time).
   struct Collective {
@@ -199,6 +243,9 @@ class RuntimeProc {
     std::uint32_t arrived = 0;
     double sum = 0;
     std::uint64_t min = UINT64_MAX;
+    // allreduce_u64 accumulator; handlers resize on demand so contributions
+    // that arrive before proc 0 reaches the call site still land correctly.
+    std::vector<std::uint64_t> vec;
   } coll_;
 };
 
@@ -218,6 +265,13 @@ class Runtime {
 
   /// The RuntimeProc bound to the calling thread (valid inside run()).
   static RuntimeProc& cur();
+
+  /// The (persistent) RuntimeProc of processor `p`; nullptr before the
+  /// first run() touched it.  Post-run analysis (the advisor's report
+  /// collection) reads per-processor state through this.
+  RuntimeProc* rproc(ProcId p) const {
+    return p < rprocs_.size() ? rprocs_[p].get() : nullptr;
+  }
 
   /// Machine-wide DSM counters (all spaces, all processors).
   DsmStats aggregate_dstats() const;
@@ -242,6 +296,7 @@ class Runtime {
   am::HandlerId h_proto_ = 0;
   am::HandlerId h_bcast_ = 0;
   am::HandlerId h_gather_ = 0;
+  am::HandlerId h_reduce_u64_ = 0;
 };
 
 // --- the paper's C-style API (Table 2 / Figure 3), routed through the

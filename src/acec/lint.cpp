@@ -52,13 +52,14 @@ struct UnionFind {
 
 }  // namespace
 
-std::vector<Diag> lint(const Function& f, const AnalysisResult& an) {
+std::vector<Diag> lint(const Function& f, const AnalysisResult& an,
+                       const Registry* reg) {
   std::vector<Diag> diags;
   auto emit = [&](const char* rule, std::size_t i, std::string msg) {
     diags.push_back({rule, f.name, i, std::move(msg)});
   };
 
-  // --- AL01 / AL02: per-access protocol-set facts --------------------------
+  // --- AL01 / AL02 / AL04: per-access protocol-set facts -------------------
   for (std::size_t i = 0; i < f.code.size(); ++i) {
     const Inst& inst = f.code[i];
     if (!is_access_op(inst.op)) continue;
@@ -68,6 +69,23 @@ std::vector<Diag> lint(const Function& f, const AnalysisResult& an) {
            "access has an empty possible-protocol set (space not covered "
            "by the kernel signature)");
       continue;
+    }
+    if (reg != nullptr && info.protocols.size() >= 2) {
+      // AL04: the set must not straddle cost classes.  A plain coherent
+      // protocol and a semantic/incoherent one give the same access two
+      // different meanings depending on which the runtime binds.
+      std::string plain, special;
+      for (const auto& p : info.protocols) {
+        if (!reg->contains(p)) continue;
+        const ProtocolCosts& c = reg->info(p).costs;
+        ((c.coherent && c.advisable) ? plain : special) = p;
+      }
+      if (!plain.empty() && !special.empty())
+        emit("AL04", i,
+             "possible-protocol set mixes the plain coherent protocol '" +
+                 plain + "' with '" + special +
+                 "' (semantic or incoherent per its cost descriptor); the "
+                 "access's meaning depends on the runtime binding");
     }
     if (inst.direct && !info.singleton()) {
       std::string protos;

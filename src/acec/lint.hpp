@@ -12,6 +12,14 @@
 //   AL02 — a direct-dispatch site (Inst::direct) whose protocol set is not
 //          a singleton: the direct-call pass's precondition does not hold
 //          and the devirtualized call may bind the wrong routine.
+//   AL04 — an access whose possible-protocol set mixes cost classes: a
+//          semantic protocol (one whose cost descriptor says advisable=no —
+//          its operations carry bespoke meaning, e.g. Counter's merge or
+//          RaceCheck's tagging) or an incoherent one (coherent=no, e.g.
+//          Null) alongside plain coherent protocols.  Whichever member the
+//          runtime binds, the access means something different — almost
+//          certainly a space-wiring mistake.  Needs the registry's cost
+//          descriptors; skipped when no registry is supplied.
 //   AL03 — a static epoch-race check, the compile-time counterpart of the
 //          RaceCheck protocol (§2.1): IR kernels are SPMD (every processor
 //          runs the same code, parameterized by its id through its
@@ -31,7 +39,9 @@
 namespace ace::ir {
 
 /// Lint one function against a fresh analysis of it.  Returns all hazards;
-/// empty means clean.
-std::vector<Diag> lint(const Function& f, const AnalysisResult& an);
+/// empty means clean.  `reg` supplies the per-protocol cost descriptors the
+/// AL04 mixed-class check needs; pass nullptr to skip that rule.
+std::vector<Diag> lint(const Function& f, const AnalysisResult& an,
+                       const Registry* reg = nullptr);
 
 }  // namespace ace::ir

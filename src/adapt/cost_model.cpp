@@ -1,0 +1,140 @@
+#include "adapt/cost_model.hpp"
+
+#include <algorithm>
+
+namespace ace::adapt {
+
+namespace {
+
+/// One-way message: sender software + wire + receiver dispatch + payload.
+double msg_ns(const am::CostModel& cm, double payload_bytes) {
+  return static_cast<double>(cm.send_overhead_ns + cm.wire_latency_ns +
+                             cm.handler_dispatch_ns) +
+         static_cast<double>(cm.per_byte_ns) * payload_bytes;
+}
+
+/// Blocking round trip (request + reply), the cost a miss stalls for.
+double rtt_ns(const am::CostModel& cm, double payload_bytes) {
+  return static_cast<double>(cm.send_overhead_ns +
+                             2 * cm.wire_latency_ns +
+                             2 * cm.handler_dispatch_ns) +
+         static_cast<double>(cm.per_byte_ns) * payload_bytes;
+}
+
+}  // namespace
+
+bool feasible(const ProtocolCosts& c, const Signature& s) {
+  return c.remote_writes || s.remote_writes == 0;
+}
+
+double predict_ns(const ProtocolCosts& c, const Signature& s,
+                  const am::CostModel& cm, std::uint32_t nprocs) {
+  const double P = std::max<std::uint32_t>(nprocs, 1);
+  const double E = std::max<std::uint64_t>(s.epochs, 1);
+  const double reads = static_cast<double>(s.reads);
+  const double writes = static_cast<double>(s.writes);
+  // Consumers: the fan-out a write (or write run) must reach.  reader_procs
+  // is only an upper bound (all-read-all); when the signature carries sharer
+  // pairs, the measured average readers-per-region is the fan-out protocols
+  // actually pay — EM3D-style sparse sharing reads each region from ~2
+  // processors even though all 8 read the space.
+  double consumers = static_cast<double>(s.reader_procs);
+  if (s.sharer_pairs > 0 && s.home_regions > 0)
+    consumers = std::min(consumers,
+                         std::max(1.0, static_cast<double>(s.sharer_pairs) /
+                                           static_cast<double>(s.home_regions)));
+  // A write run is a burst of same-region writes with no intervening read
+  // or barrier — the unit at which invalidation- and barrier-granularity
+  // protocols pay their coherence traffic.  If anything was written at all,
+  // at least one run per epoch keeps the terms from degenerating.
+  double runs = static_cast<double>(s.write_runs);
+  if (s.writer_procs > 0) runs = std::max(runs, E);
+  // Mean region size drives payload terms; 64B default before any touch.
+  const double rbytes =
+      s.regions > 0
+          ? static_cast<double>(s.region_bytes) / static_cast<double>(s.regions)
+          : 64.0;
+
+  // Costs common to every protocol: annotation software path and the
+  // space's barrier synchronization (update protocols that piggyback a
+  // flush round on the barrier pay proportionally more rounds).
+  const double local_ops = (reads + writes) / P *
+                           static_cast<double>(cm.dispatch_ns + cm.op_hit_ns);
+  const double sync = E * static_cast<double>(c.barrier_rounds) *
+                      static_cast<double>(cm.barrier_ns);
+
+  // Write-policy-specific communication, modeled machine-wide and divided
+  // by P for the per-processor share (SPMD symmetry).
+  double comm = 0.0;
+  switch (c.write_policy) {
+    case WritePolicy::kInvalidate:
+      // Each run: the writer's exclusive upgrade round trip, one INV per
+      // sharer, and each invalidated consumer's refetch miss.
+      comm = runs *
+             (rtt_ns(cm, 0) + consumers * (msg_ns(cm, 0) + rtt_ns(cm, rbytes))) /
+             P;
+      break;
+    case WritePolicy::kPushOnWrite:
+      // Every write immediately pushes the written word(s) to all
+      // consumers, who then hit locally.  Fine-grained: small payloads,
+      // but per-write fan-out.
+      comm = writes * consumers * msg_ns(cm, 8) / P;
+      break;
+    case WritePolicy::kPushAtBarrier:
+      // Dirty regions are pushed whole to consumers once per run (runs
+      // break at barriers, so a run ~= one dirty region-epoch).
+      comm = runs * consumers * msg_ns(cm, rbytes) / P;
+      break;
+    case WritePolicy::kHomeFetch: {
+      // Writes land at the home (remote writers forward a round trip), and
+      // non-home copies invalidate at *every* barrier, so each sharer pair
+      // refetches once per epoch — whether or not anything was written.
+      // remote_reads bounds it: nobody refetches more often than they read.
+      double refetches = static_cast<double>(s.remote_reads);
+      if (s.sharer_pairs > 0)
+        refetches = std::min(refetches,
+                             E * static_cast<double>(s.sharer_pairs));
+      comm = (static_cast<double>(s.remote_writes) * rtt_ns(cm, 8) +
+              refetches * rtt_ns(cm, rbytes)) /
+             P;
+      break;
+    }
+    case WritePolicy::kMigrate:
+      // Ownership (and the data) moves to each writer in turn; the chain of
+      // transfers is serial, so the more processors contend, the worse.
+      comm = runs * rtt_ns(cm, rbytes) *
+             std::max(1.0, consumers + static_cast<double>(s.writer_procs) -
+                               1.0) /
+             P;
+      break;
+    case WritePolicy::kLocalOnly:
+      comm = 0.0;  // no coherence traffic by construction
+      break;
+  }
+
+  // Cold-start: every touched region is fetched once by each consumer that
+  // is not its home, whatever the protocol.  Amortized across the window;
+  // identical for all candidates, kept so absolute predictions line up with
+  // measured times on short windows.
+  const double cold =
+      static_cast<double>(std::min<std::uint64_t>(s.read_misses + s.write_misses,
+                                                  s.regions * nprocs)) *
+      rtt_ns(cm, rbytes) / P;
+
+  return local_ops + sync + comm + cold;
+}
+
+double switch_cost_ns(const Signature& s, const am::CostModel& cm,
+                      std::uint32_t nprocs) {
+  const double P = std::max<std::uint32_t>(nprocs, 1);
+  const double rbytes =
+      s.regions > 0
+          ? static_cast<double>(s.region_bytes) / static_cast<double>(s.regions)
+          : 64.0;
+  // Ace_ChangeProtocol runs three machine barriers (quiesce, flush-done,
+  // reinstall-done) and the outgoing protocol flushes dirty copies home.
+  return 3.0 * static_cast<double>(cm.barrier_ns) +
+         static_cast<double>(s.regions) * msg_ns(cm, rbytes) / P;
+}
+
+}  // namespace ace::adapt

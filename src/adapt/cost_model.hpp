@@ -1,0 +1,46 @@
+// Protocol cost prediction from access signatures.
+//
+// Given a Signature (what the application did to a space during a window)
+// and a protocol's cost descriptor (ProtocolCosts: how the protocol moves
+// written data), predict the modeled virtual time that protocol would have
+// spent serving the same access stream.  The prediction uses the same CM-5
+// constants (am::CostModel) that advance the simulator's virtual clocks, so
+// predicted and measured times are in the same unit and directly comparable.
+//
+// The model is deliberately coarse — a handful of closed-form terms per
+// write policy — because the advisor only needs *ranking* fidelity: which
+// protocol is cheapest, and by enough of a margin to beat the hysteresis
+// gate.  tests/test_adapt.cpp checks both the orderings the paper's §5
+// experiments rely on (update protocols win producer/consumer; invalidate
+// wins read-mostly) and that the prediction for the *currently installed*
+// protocol stays within a small factor of the measured window time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ace/protocol.hpp"
+#include "adapt/signature.hpp"
+#include "am/stats.hpp"
+
+namespace ace::adapt {
+
+/// Would installing a protocol with this descriptor be *correct* for the
+/// observed access pattern?  Owner-computes protocols (remote_writes == no)
+/// abort on writes to regions homed elsewhere, so a signature with remote
+/// writes rules them out.  (Coherence is a semantic property the signature
+/// cannot observe; non-coherent protocols are gated by the advisor's
+/// candidate policy, not here.)
+bool feasible(const ProtocolCosts& c, const Signature& s);
+
+/// Predicted virtual time (ns, per-processor critical path) for one window
+/// of the signature's access stream under the given protocol.
+double predict_ns(const ProtocolCosts& c, const Signature& s,
+                  const am::CostModel& cm, std::uint32_t nprocs);
+
+/// Modeled cost of one Ace_ChangeProtocol on this space: three machine
+/// barriers plus the old protocol's flush sweep over the touched regions.
+double switch_cost_ns(const Signature& s, const am::CostModel& cm,
+                      std::uint32_t nprocs);
+
+}  // namespace ace::adapt

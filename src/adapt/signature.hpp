@@ -1,0 +1,107 @@
+// Per-space access signatures: the advisor's input.
+//
+// The adaptive advisor (advisor.hpp) decides between protocols from a small
+// set of facts about how a space was accessed during a window of barrier
+// epochs: read/write mix, how many processors produce vs consume, how writes
+// cluster into runs, how big the touched regions are, and how much of the
+// traffic went remote.  Those facts are protocol-*independent* — a start_read
+// on a remote region counts the same whether the current protocol serviced it
+// as a miss or as a local hit — which is what lets the cost model predict
+// what a *different* protocol would have cost on the same access stream.
+//
+// A Signature is accumulated per processor and then combined across the
+// machine with two integer reductions (sum for additive counters, max for
+// per-processor quantities like elapsed virtual time).  Integer reductions
+// are arrival-order-free, so every processor computes the *identical* global
+// Signature — the foundation of deterministic, collectively-safe decisions.
+#pragma once
+
+#include <cstdint>
+
+namespace ace::adapt {
+
+/// Access facts for one space over one decision window.  All counters are
+/// machine-wide after reduction (see pack_*/unpack below for the split).
+struct Signature {
+  // --- sum-reduced across processors -------------------------------------
+  std::uint64_t reads = 0;          ///< start_read calls
+  std::uint64_t writes = 0;         ///< start_write calls
+  std::uint64_t remote_reads = 0;   ///< ... on regions homed elsewhere
+  std::uint64_t remote_writes = 0;  ///< ... on regions homed elsewhere
+  std::uint64_t read_misses = 0;    ///< misses charged by the current protocol
+  std::uint64_t write_misses = 0;
+  std::uint64_t write_runs = 0;     ///< maximal same-region write bursts
+  std::uint64_t writer_procs = 0;   ///< processors that wrote at all (0/1 each)
+  std::uint64_t reader_procs = 0;   ///< processors that read at all (0/1 each)
+  std::uint64_t msgs = 0;           ///< AMs attributed to the space
+  std::uint64_t bytes = 0;          ///< payload bytes in those AMs
+  /// Distinct (processor, region) pairs where the processor read a region
+  /// homed elsewhere.  Summed, this counts the machine's sharer pairs — the
+  /// per-region consumer fan-out that update/invalidate protocols actually
+  /// pay, as opposed to the reader_procs upper bound (all-read-all).
+  std::uint64_t sharer_pairs = 0;
+  /// Distinct touched regions this processor is home for.  Every region has
+  /// exactly one home, so the sum is the machine-wide count of distinct
+  /// touched regions (exact when homes touch their own regions, else a
+  /// lower bound).
+  std::uint64_t home_regions = 0;
+  // --- max-reduced across processors -------------------------------------
+  std::uint64_t epochs = 0;        ///< barrier epochs in the window (equal
+                                   ///< on every processor; max == the value)
+  std::uint64_t regions = 0;       ///< distinct regions touched (per-proc max:
+                                   ///< exact for symmetric SPMD access, a
+                                   ///< lower bound otherwise)
+  std::uint64_t region_bytes = 0;  ///< total size of those regions (max)
+  std::uint64_t window_ns = 0;     ///< measured virtual time in the window
+                                   ///< (max = the machine's critical path,
+                                   ///< since clocks join at barriers)
+};
+
+inline constexpr std::uint32_t kSumFields = 13;
+inline constexpr std::uint32_t kMaxFields = 4;
+
+/// Flatten for RuntimeProc::allreduce_u64.  The two vectors ride separate
+/// reductions (ReduceOp::kSum and ReduceOp::kMax).
+inline void pack(const Signature& s, std::uint64_t sum[kSumFields],
+                 std::uint64_t mx[kMaxFields]) {
+  sum[0] = s.reads;
+  sum[1] = s.writes;
+  sum[2] = s.remote_reads;
+  sum[3] = s.remote_writes;
+  sum[4] = s.read_misses;
+  sum[5] = s.write_misses;
+  sum[6] = s.write_runs;
+  sum[7] = s.writer_procs;
+  sum[8] = s.reader_procs;
+  sum[9] = s.msgs;
+  sum[10] = s.bytes;
+  sum[11] = s.sharer_pairs;
+  sum[12] = s.home_regions;
+  mx[0] = s.epochs;
+  mx[1] = s.regions;
+  mx[2] = s.region_bytes;
+  mx[3] = s.window_ns;
+}
+
+inline void unpack(Signature& s, const std::uint64_t sum[kSumFields],
+                   const std::uint64_t mx[kMaxFields]) {
+  s.reads = sum[0];
+  s.writes = sum[1];
+  s.remote_reads = sum[2];
+  s.remote_writes = sum[3];
+  s.read_misses = sum[4];
+  s.write_misses = sum[5];
+  s.write_runs = sum[6];
+  s.writer_procs = sum[7];
+  s.reader_procs = sum[8];
+  s.msgs = sum[9];
+  s.bytes = sum[10];
+  s.sharer_pairs = sum[11];
+  s.home_regions = sum[12];
+  s.epochs = mx[0];
+  s.regions = mx[1];
+  s.region_bytes = mx[2];
+  s.window_ns = mx[3];
+}
+
+}  // namespace ace::adapt

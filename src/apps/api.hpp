@@ -17,6 +17,7 @@
 #include <string>
 
 #include "ace/runtime.hpp"
+#include "adapt/advisor.hpp"
 #include "crl/crl.hpp"
 
 namespace apps {
@@ -61,6 +62,12 @@ class AceApi {
   std::uint64_t allreduce_min(std::uint64_t v) { return rp_.allreduce_min(v); }
   void charge_compute(std::uint64_t ns) { rp_.charge_compute(ns); }
 
+  /// Attach the adaptive advisor (src/adapt) to a space.  Collective;
+  /// opts.execute decides between auto-switching and record-only advice.
+  void auto_advise(std::uint32_t space, ace::adapt::AdvisorOptions opts = {}) {
+    ace::adapt::attach(rp_, space, std::move(opts));
+  }
+
   ace::RuntimeProc& runtime_proc() { return rp_; }
 
  private:
@@ -102,11 +109,18 @@ class CrlApi {
   std::uint64_t allreduce_min(std::uint64_t v) { return cp_.allreduce_min(v); }
   void charge_compute(std::uint64_t ns) { cp_.charge_compute(ns); }
 
+  /// CRL has one fixed protocol: there is nothing to advise between.
+  void auto_advise(std::uint32_t, ace::adapt::AdvisorOptions = {}) {}
+
   crl::CrlProc& crl_proc() { return cp_; }
 
  private:
   crl::CrlProc& cp_;
 };
+
+/// Sentinel protocol name the applications accept in place of a registered
+/// protocol: attach the adaptive advisor in execute mode and let it pick.
+inline constexpr const char* kAutoProtocol = "Auto";
 
 /// Which protocol assignment an Ace run uses (Figure 7b's two bars).
 enum class ProtocolMode {

@@ -33,7 +33,8 @@ struct Em3dParams {
   double pct_remote = 0.20;      ///< fraction of remote edges (paper: 20%)
   std::uint32_t steps = 100;     ///< time steps (paper: 100)
   std::uint64_t seed = 12345;
-  /// Protocol for both spaces: "SC", "DynamicUpdate", or "StaticUpdate".
+  /// Protocol for both spaces: "SC", "DynamicUpdate", "StaticUpdate", or
+  /// "Auto" (kAutoProtocol: the adaptive advisor picks per space).
   std::string protocol = "SC";
   /// CRL-1.0 annotation style: map/unmap around every access instead of
   /// hoisting maps out of the main loop.  The §5.1 comparison uses this
@@ -104,7 +105,10 @@ Em3dResult em3d_run(Api& api, const Em3dParams& p) {
   api.barrier(eval);
   api.barrier(hval);
 
-  if (p.protocol != ace::proto_names::kSC) {
+  if (p.protocol == kAutoProtocol) {
+    api.auto_advise(eval);
+    api.auto_advise(hval);
+  } else if (p.protocol != ace::proto_names::kSC) {
     api.change_protocol(eval, p.protocol);
     api.change_protocol(hval, p.protocol);
   }

@@ -27,6 +27,9 @@ struct TspParams {
   std::uint32_t n_cities = 12;  ///< paper: 12 cities
   std::uint64_t seed = 777;
   bool custom_counter = false;  ///< use the Counter protocol for job draws
+  /// Attach a record-only advisor to the bound space (the decisions land in
+  /// the ADVISOR report; the bound stays on its fixed protocol).
+  bool auto_advise = false;
   /// How often a searcher re-reads the shared bound (every k expansions);
   /// mirrors the CRL version's periodic bound refresh.
   std::uint32_t bound_refresh = 16;
@@ -100,6 +103,12 @@ TspResult tsp_run(Api& api, const TspParams& p) {
   const std::uint32_t counter_space = api.new_space(
       p.custom_counter ? ace::proto_names::kCounter : ace::proto_names::kSC);
   const std::uint32_t bound_space = api.new_space(ace::proto_names::kSC);
+  if (p.auto_advise) {
+    ace::adapt::AdvisorOptions opts;
+    opts.execute = false;   // record-only: TSP's bound is latency-critical
+    opts.min_window = 1;    // the search brackets the run with two barriers
+    api.auto_advise(bound_space, opts);
+  }
 
   RegionId counter_id = 0, bound_id = 0;
   if (api.me() == 0) {

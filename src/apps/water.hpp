@@ -44,6 +44,9 @@ struct WaterParams {
   double dt = 1e-3;
   bool custom_protocols = false;  ///< HomeWrite + PipelinedWrite (+ Null)
   bool use_null_intra = true;     ///< switch to Null for the intra phase
+  /// Attach the adaptive advisor (execute mode) to both spaces instead of
+  /// any fixed assignment; ignored when custom_protocols is set.
+  bool auto_protocols = false;
 };
 
 struct Mol {
@@ -117,6 +120,9 @@ WaterResult water_run(Api& api, const WaterParams& p) {
   if (p.custom_protocols) {
     api.change_protocol(mol_space, mol_proto);
     api.change_protocol(force_space, force_proto);
+  } else if (p.auto_protocols) {
+    api.auto_advise(mol_space);
+    api.auto_advise(force_space);
   }
 
   // Hoisted maps (hand-optimized style, §5.3).

@@ -1,0 +1,211 @@
+// Minimal JSON reader for the repo's own machine-readable documents
+// (BENCH_*.json, ADVISOR_*.json — written by obs::JsonWriter).
+//
+// A small recursive-descent parser into a variant tree; no external
+// dependency, no streaming, no number formats beyond what JsonWriter emits
+// (integers, %.9g doubles) plus standard exponents.  Strings understand the
+// writer's escape set (\" \\ \n \t \r) and pass \/ \b \f through too.
+// Errors carry a byte offset; parse() returns nullopt on any malformed
+// input rather than guessing.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ace::jsonin {
+
+class Value;
+using Array = std::vector<Value>;
+using Object = std::map<std::string, Value>;
+
+class Value {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;
+  explicit Value(bool b) : kind_(Kind::kBool), bool_(b) {}
+  explicit Value(double n) : kind_(Kind::kNumber), num_(n) {}
+  explicit Value(std::string s) : kind_(Kind::kString), str_(std::move(s)) {}
+  explicit Value(Array a)
+      : kind_(Kind::kArray), arr_(std::make_shared<Array>(std::move(a))) {}
+  explicit Value(Object o)
+      : kind_(Kind::kObject), obj_(std::make_shared<Object>(std::move(o))) {}
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+
+  bool as_bool(bool dflt = false) const {
+    return kind_ == Kind::kBool ? bool_ : dflt;
+  }
+  double as_num(double dflt = 0) const {
+    return kind_ == Kind::kNumber ? num_ : dflt;
+  }
+  std::uint64_t as_u64(std::uint64_t dflt = 0) const {
+    return kind_ == Kind::kNumber ? static_cast<std::uint64_t>(num_) : dflt;
+  }
+  const std::string& as_str() const {
+    static const std::string empty;
+    return kind_ == Kind::kString ? str_ : empty;
+  }
+  const Array& as_array() const {
+    static const Array empty;
+    return kind_ == Kind::kArray ? *arr_ : empty;
+  }
+  const Object& as_object() const {
+    static const Object empty;
+    return kind_ == Kind::kObject ? *obj_ : empty;
+  }
+
+  /// Member lookup; a null Value for anything missing / non-object.
+  const Value& operator[](const std::string& key) const {
+    static const Value null;
+    if (kind_ != Kind::kObject) return null;
+    auto it = obj_->find(key);
+    return it == obj_->end() ? null : it->second;
+  }
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::shared_ptr<Array> arr_;
+  std::shared_ptr<Object> obj_;
+};
+
+namespace detail {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* s) {
+    const std::size_t n = std::char_traits<char>::length(s);
+    if (text.compare(pos, n, s) != 0) return false;
+    pos += n;
+    return true;
+  }
+
+  Value fail() {
+    ok = false;
+    return Value();
+  }
+
+  Value parse_string() {
+    std::string out;
+    ++pos;  // opening quote
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos++];
+      if (c == '\\' && pos < text.size()) {
+        const char e = text[pos++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          default: return fail();  // \uXXXX never appears in our documents
+        }
+      }
+      out.push_back(c);
+    }
+    if (pos >= text.size()) return fail();
+    ++pos;  // closing quote
+    return Value(std::move(out));
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '+' || text[pos] == '-'))
+      ++pos;
+    if (pos == start) return fail();
+    return Value(std::stod(text.substr(start, pos - start)));
+  }
+
+  Value parse_value() {
+    skip_ws();
+    if (pos >= text.size()) return fail();
+    const char c = text[pos];
+    if (c == '{') {
+      ++pos;
+      Object o;
+      if (eat('}')) return Value(std::move(o));
+      do {
+        skip_ws();
+        if (pos >= text.size() || text[pos] != '"') return fail();
+        Value key = parse_string();
+        if (!ok || !eat(':')) return fail();
+        Value v = parse_value();
+        if (!ok) return fail();
+        o.emplace(key.as_str(), std::move(v));
+      } while (eat(','));
+      if (!eat('}')) return fail();
+      return Value(std::move(o));
+    }
+    if (c == '[') {
+      ++pos;
+      Array a;
+      if (eat(']')) return Value(std::move(a));
+      do {
+        Value v = parse_value();
+        if (!ok) return fail();
+        a.push_back(std::move(v));
+      } while (eat(','));
+      if (!eat(']')) return fail();
+      return Value(std::move(a));
+    }
+    if (c == '"') return parse_string();
+    if (literal("true")) return Value(true);
+    if (literal("false")) return Value(false);
+    if (literal("null")) return Value();
+    return parse_number();
+  }
+};
+
+}  // namespace detail
+
+/// Parse a complete JSON document; nullopt (with *err_off = byte offset) on
+/// malformed input or trailing garbage.
+inline std::optional<Value> parse(const std::string& text,
+                                  std::size_t* err_off = nullptr) {
+  detail::Parser p{text};
+  Value v = p.parse_value();
+  p.skip_ws();
+  if (!p.ok || p.pos != text.size()) {
+    if (err_off != nullptr) *err_off = p.pos;
+    return std::nullopt;
+  }
+  return v;
+}
+
+}  // namespace ace::jsonin

@@ -20,6 +20,8 @@ const char* event_category(EventKind k) {
       return "am";
     case EventKind::kBarrierWait:
       return "sync";
+    case EventKind::kAdvise:
+      return "adapt";
     default:
       return "dsm";
   }
@@ -42,6 +44,7 @@ const char* event_name(EventKind k) {
     case EventKind::kAmSend: return "am_send";
     case EventKind::kAmDispatch: return "am_dispatch";
     case EventKind::kBarrierWait: return "barrier_wait";
+    case EventKind::kAdvise: return "advise";
     case EventKind::kKindCount: break;
   }
   return "?";

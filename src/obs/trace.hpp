@@ -50,6 +50,8 @@ enum class EventKind : std::uint8_t {
   kAmSend,
   kAmDispatch,
   kBarrierWait,
+  // Adaptive advisor decision epochs (recorded by src/adapt).
+  kAdvise,
   kKindCount,
 };
 
@@ -64,6 +66,7 @@ inline constexpr std::uint32_t kNoSpace = 0xffffffffu;
 ///   kAmSend:      arg0 = destination proc, arg1 = payload bytes
 ///   kAmDispatch:  arg0 = source proc, arg1 = payload bytes
 ///   kBarrierWait: arg0 = barrier epoch, arg1 = 0
+///   kAdvise:      arg0 = switched (0/1), arg1 = advisor epoch
 struct Event {
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;

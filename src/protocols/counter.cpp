@@ -8,7 +8,10 @@ const ProtocolInfo& CounterProtocol::static_info() {
   static const ProtocolInfo info{
       proto_names::kCounter,
       kHookStartWrite | kHookBarrier | kHookLock | kHookUnlock,
-      /*optimizable=*/false};
+      /*optimizable=*/false, /*merge_rw=*/false,
+      // Semantic protocol (fetch-and-add draws): never an advisor target.
+      {WritePolicy::kHomeFetch, /*barrier_rounds=*/1,
+       /*remote_writes=*/true, /*coherent=*/true, /*advisable=*/false}};
   return info;
 }
 

@@ -9,7 +9,9 @@ const ProtocolInfo& DynamicUpdate::static_info() {
       proto_names::kDynamicUpdate,
       kHookStartRead | kHookStartWrite | kHookEndWrite | kHookBarrier |
           kHookLock | kHookUnlock,
-      /*optimizable=*/true};
+      /*optimizable=*/true, /*merge_rw=*/false,
+      {WritePolicy::kPushOnWrite, /*barrier_rounds=*/2,
+       /*remote_writes=*/true, /*coherent=*/true, /*advisable=*/true}};
   return info;
 }
 

@@ -6,7 +6,10 @@ const ProtocolInfo& HomeWrite::static_info() {
   static const ProtocolInfo info{
       proto_names::kHomeWrite,
       kHookStartRead | kHookEndWrite | kHookBarrier | kHookLock | kHookUnlock,
-      /*optimizable=*/true, /*merge_rw=*/true};
+      /*optimizable=*/true, /*merge_rw=*/true,
+      // Owner-computes only: start_write ACE_CHECKs r.is_home().
+      {WritePolicy::kHomeFetch, /*barrier_rounds=*/1,
+       /*remote_writes=*/false, /*coherent=*/true, /*advisable=*/true}};
   return info;
 }
 

@@ -3,8 +3,11 @@
 namespace ace::protocols {
 
 const ProtocolInfo& Migratory::static_info() {
-  static const ProtocolInfo info{proto_names::kMigratory, kAllHooks,
-                                 /*optimizable=*/false};
+  static const ProtocolInfo info{
+      proto_names::kMigratory, kAllHooks,
+      /*optimizable=*/false, /*merge_rw=*/false,
+      {WritePolicy::kMigrate, /*barrier_rounds=*/1,
+       /*remote_writes=*/true, /*coherent=*/true, /*advisable=*/true}};
   return info;
 }
 

@@ -3,9 +3,14 @@
 namespace ace::protocols {
 
 const ProtocolInfo& NullProtocol::static_info() {
-  static const ProtocolInfo info{proto_names::kNull,
-                                 kHookBarrier | kHookLock | kHookUnlock,
-                                 /*optimizable=*/true};
+  static const ProtocolInfo info{
+      proto_names::kNull, kHookBarrier | kHookLock | kHookUnlock,
+      /*optimizable=*/true, /*merge_rw=*/false,
+      // Incoherent: writes never propagate.  Advisable stays off — the
+      // advisor may not infer "private" from past epochs (src/adapt); an
+      // application that knows a phase is private opts in explicitly.
+      {WritePolicy::kLocalOnly, /*barrier_rounds=*/1,
+       /*remote_writes=*/true, /*coherent=*/false, /*advisable=*/false}};
   return info;
 }
 

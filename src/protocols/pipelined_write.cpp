@@ -9,7 +9,10 @@ const ProtocolInfo& PipelinedWrite::static_info() {
       proto_names::kPipelinedWrite,
       kHookStartRead | kHookStartWrite | kHookEndWrite | kHookBarrier |
           kHookLock | kHookUnlock,
-      /*optimizable=*/true};
+      /*optimizable=*/true, /*merge_rw=*/false,
+      // Semantic protocol (writes *accumulate*): never an advisor target.
+      {WritePolicy::kPushAtBarrier, /*barrier_rounds=*/1,
+       /*remote_writes=*/true, /*coherent=*/true, /*advisable=*/false}};
   return info;
 }
 

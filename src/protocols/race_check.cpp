@@ -13,8 +13,12 @@ void RaceCheck::set_abort_on_race(bool v) { g_abort_on_race.store(v); }
 
 const ProtocolInfo& RaceCheck::static_info() {
   // Races are order-sensitive observations: no code motion, no merging.
-  static const ProtocolInfo info{proto_names::kRaceCheck, kAllHooks,
-                                 /*optimizable=*/false};
+  static const ProtocolInfo info{
+      proto_names::kRaceCheck, kAllHooks,
+      /*optimizable=*/false, /*merge_rw=*/false,
+      // Diagnostic protocol: its value is the reports, not the coherence.
+      {WritePolicy::kInvalidate, /*barrier_rounds=*/1,
+       /*remote_writes=*/true, /*coherent=*/true, /*advisable=*/false}};
   return info;
 }
 

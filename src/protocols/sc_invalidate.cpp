@@ -7,8 +7,11 @@ namespace ace::protocols {
 using Kind = ScInvalidate::HomeDir::Kind;
 
 const ProtocolInfo& ScInvalidate::static_info() {
-  static const ProtocolInfo info{proto_names::kSC, kAllHooks,
-                                 /*optimizable=*/false};
+  static const ProtocolInfo info{
+      proto_names::kSC, kAllHooks,
+      /*optimizable=*/false, /*merge_rw=*/false,
+      {WritePolicy::kInvalidate, /*barrier_rounds=*/1,
+       /*remote_writes=*/true, /*coherent=*/true, /*advisable=*/true}};
   return info;
 }
 

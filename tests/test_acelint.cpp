@@ -294,7 +294,7 @@ TEST(Verify, ElidedModeAcceptsNullStartDeletions) {
 // --- AL: protocol-usage linter ----------------------------------------------
 
 std::vector<Diag> run_lint(const AB& b, const SpaceProtos& sp) {
-  return lint(b.f, analyze(b.f, sp, reg()));
+  return lint(b.f, analyze(b.f, sp, reg()), &reg());
 }
 
 TEST(Lint, AL01_EmptyProtocolSet) {
@@ -319,6 +319,47 @@ TEST(Lint, AL02_DirectDispatchOnNonSingletonSet) {
       {1, {proto_names::kHomeWrite, proto_names::kDynamicUpdate}}};
   const auto ds = run_lint(b, sp);
   EXPECT_TRUE(has_rule(ds, "AL02")) << rules_of(ds);
+}
+
+TEST(Lint, AL04_MixedCostClassProtocolSet) {
+  // A set straddling cost classes: SC (plain coherent, advisable) together
+  // with Counter (advisable=no — its stores merge, they don't overwrite).
+  AB b;
+  b.f.table_space = {1};
+  const auto p = b.map(b.region(0, 0));
+  b.sr(p);
+  b.loadp(p, b.ci(0));
+  b.er(p);
+  const SpaceProtos sp = {{1, {proto_names::kSC, proto_names::kCounter}}};
+  const auto ds = run_lint(b, sp);
+  EXPECT_TRUE(has_rule(ds, "AL04")) << rules_of(ds);
+}
+
+TEST(Lint, AL04_CoherentProtocolsMayShareASet) {
+  // Two plain coherent protocols in one set is routine Ace_ChangeProtocol
+  // usage, not a hazard.
+  AB b;
+  b.f.table_space = {1};
+  const auto p = b.map(b.region(0, 0));
+  b.sr(p);
+  b.loadp(p, b.ci(0));
+  b.er(p);
+  const SpaceProtos sp = {
+      {1, {proto_names::kSC, proto_names::kDynamicUpdate}}};
+  const auto ds = run_lint(b, sp);
+  EXPECT_FALSE(has_rule(ds, "AL04")) << rules_of(ds);
+}
+
+TEST(Lint, AL04_SkippedWithoutRegistry) {
+  AB b;
+  b.f.table_space = {1};
+  const auto p = b.map(b.region(0, 0));
+  b.sr(p);
+  b.loadp(p, b.ci(0));
+  b.er(p);
+  const SpaceProtos sp = {{1, {proto_names::kSC, proto_names::kCounter}}};
+  const auto ds = lint(b.f, analyze(b.f, sp, reg()));
+  EXPECT_FALSE(has_rule(ds, "AL04")) << rules_of(ds);
 }
 
 TEST(Lint, AL03_WriteReadOfSameRegionInOneEpoch) {
@@ -547,7 +588,7 @@ TEST(Acelint, AllKernelsCleanAtEveryStage) {
     const auto check = [&](const Function& f, bool post_dc) {
       auto ds = verify(f, kc.space_protocols, reg(),
                        VerifyOptions{.null_hooks_elided = post_dc});
-      const auto ls = lint(f, analyze(f, kc.space_protocols, reg()));
+      const auto ls = lint(f, analyze(f, kc.space_protocols, reg()), &reg());
       ds.insert(ds.end(), ls.begin(), ls.end());
       EXPECT_TRUE(ds.empty())
           << kc.name << "/" << f.name << ": " << to_string(ds);

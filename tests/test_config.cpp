@@ -107,6 +107,72 @@ TEST(Config, BuiltinsMergeRwFlags) {
   EXPECT_FALSE(reg.info(proto_names::kSC).merge_rw);
 }
 
+TEST(Config, CostDescriptorKeysParse) {
+  ConfigError err;
+  const auto infos = parse_config(
+      "protocol P { start_read yes;\n"
+      "  write_policy push_at_barrier; barrier_rounds 2;\n"
+      "  remote_writes no; coherent yes; advisable yes; }",
+      &err);
+  ASSERT_EQ(infos.size(), 1u) << err.message;
+  EXPECT_EQ(infos[0].costs.write_policy, WritePolicy::kPushAtBarrier);
+  EXPECT_EQ(infos[0].costs.barrier_rounds, 2u);
+  EXPECT_FALSE(infos[0].costs.remote_writes);
+  EXPECT_TRUE(infos[0].costs.coherent);
+  EXPECT_TRUE(infos[0].costs.advisable);
+}
+
+TEST(Config, BadWritePolicyIsErrorWithLine) {
+  ConfigError err;
+  EXPECT_TRUE(
+      parse_config("protocol P {\n  write_policy sideways;\n}", &err).empty());
+  EXPECT_NE(err.message.find("unknown write_policy 'sideways'"),
+            std::string::npos);
+  EXPECT_EQ(err.line, 2);
+}
+
+TEST(Config, BadBarrierRoundsIsError) {
+  ConfigError err;
+  EXPECT_TRUE(
+      parse_config("protocol P { barrier_rounds many; }", &err).empty());
+  EXPECT_NE(err.message.find("integer"), std::string::npos);
+  EXPECT_TRUE(
+      parse_config("protocol P { barrier_rounds 0; }", &err).empty());
+  EXPECT_NE(err.message.find("at least 1"), std::string::npos);
+}
+
+TEST(Config, CostDescriptorRoundTrips) {
+  ConfigError err;
+  const auto infos = parse_config(default_config_text(), &err);
+  const auto again = parse_config(render_config(infos), &err);
+  ASSERT_EQ(again.size(), infos.size()) << err.message;
+  for (std::size_t i = 0; i < infos.size(); ++i) {
+    EXPECT_EQ(again[i].costs.write_policy, infos[i].costs.write_policy)
+        << infos[i].name;
+    EXPECT_EQ(again[i].costs.barrier_rounds, infos[i].costs.barrier_rounds)
+        << infos[i].name;
+    EXPECT_EQ(again[i].costs.remote_writes, infos[i].costs.remote_writes)
+        << infos[i].name;
+    EXPECT_EQ(again[i].costs.coherent, infos[i].costs.coherent)
+        << infos[i].name;
+    EXPECT_EQ(again[i].costs.advisable, infos[i].costs.advisable)
+        << infos[i].name;
+  }
+}
+
+TEST(Config, DefaultConfigMatchesRegistryCosts) {
+  ConfigError err;
+  const auto infos = parse_config(default_config_text(), &err);
+  const Registry reg = Registry::with_builtins();
+  ASSERT_FALSE(infos.empty());
+  for (const auto& info : infos) {
+    ASSERT_TRUE(reg.contains(info.name)) << info.name;
+    const ProtocolCosts& c = reg.info(info.name).costs;
+    EXPECT_EQ(c.write_policy, info.costs.write_policy) << info.name;
+    EXPECT_EQ(c.advisable, info.costs.advisable) << info.name;
+  }
+}
+
 TEST(Config, DefaultConfigParses) {
   ConfigError err;
   const auto infos = parse_config(default_config_text(), &err);

@@ -38,6 +38,7 @@
 
 #include "ace/registry.hpp"
 #include "ace/runtime.hpp"
+#include "adapt/advisor.hpp"
 #include "am/delivery.hpp"
 #include "am/machine.hpp"
 #include "apps/api.hpp"
@@ -286,6 +287,93 @@ void producer_consumer(Machine& machine, std::uint32_t) {
   });
 }
 
+/// The adaptive advisor under chaos: a producer/consumer space in auto mode
+/// (adapt::auto_space, starting on SC).  Self-verifies that (a) data stays
+/// coherent across the advisor's own Ace_ChangeProtocol switches, (b) every
+/// processor records the identical decision sequence (the decisions ride
+/// order-free integer reductions), and (c) the switch sequence matches a
+/// clean no-chaos run — decisions are a function of the access pattern, not
+/// of the delivery schedule, so the same seed trivially reproduces them.
+void auto_advisor(Machine& machine, std::uint32_t procs) {
+  using ace::adapt::Decision;
+  constexpr std::uint64_t kRegions = 6;
+  constexpr std::uint64_t kRounds = 12;
+
+  SpaceId auto_sp = 0;
+  auto workload = [&](RuntimeProc& rp) {
+    const SpaceId sp = ace::adapt::auto_space(rp, proto::kSC);
+    if (rp.me() == 0) auto_sp = sp;
+    std::vector<RegionId> ids(kRegions);
+    for (auto& id : ids) id = shared_region(rp, sp, 8, 0);
+    std::vector<std::uint64_t*> ptr;
+    for (auto id : ids) ptr.push_back(static_cast<std::uint64_t*>(rp.map(id)));
+    rp.ace_barrier(sp);
+    for (std::uint64_t round = 1; round <= kRounds; ++round) {
+      if (rp.me() == 0)
+        for (std::uint64_t r = 0; r < kRegions; ++r) {
+          rp.start_write(ptr[r]);
+          *ptr[r] = round * 1000 + r;
+          rp.end_write(ptr[r]);
+        }
+      rp.ace_barrier(sp);
+      if (rp.me() != 0)
+        for (std::uint64_t r = 0; r < kRegions; ++r) {
+          rp.start_read(ptr[r]);
+          ACE_CHECK_MSG(*ptr[r] == round * 1000 + r,
+                        "auto_advisor: incoherent value under the advisor");
+          rp.end_read(ptr[r]);
+        }
+      rp.ace_barrier(sp);
+    }
+  };
+
+  auto decisions_of = [&](ace::Runtime& rt,
+                          ProcId p) -> std::vector<Decision> {
+    auto* a = ace::adapt::find_advisor(rt, auto_sp, p);
+    ACE_CHECK_MSG(a != nullptr, "auto_advisor: advisor not attached");
+    return a->decisions();
+  };
+  auto switches_of = [](const std::vector<Decision>& ds) {
+    std::vector<std::pair<std::uint64_t, std::string>> out;
+    for (const auto& d : ds)
+      if (d.switched) out.emplace_back(d.epoch, d.chosen);
+    return out;
+  };
+
+  ace::Runtime rt(machine);
+  rt.run(workload);
+  const auto d0 = decisions_of(rt, 0);
+  ACE_CHECK_MSG(!d0.empty(), "auto_advisor: no decisions recorded");
+  ACE_CHECK_MSG(!switches_of(d0).empty(),
+                "auto_advisor: the advisor never left SC");
+  for (std::size_t i = 0; i < d0.size(); ++i) {
+    // Decisions land only in on_barrier, one window apart: each epoch is a
+    // barrier epoch, strictly after the previous decision's.
+    const std::uint64_t prev = i == 0 ? 0 : d0[i - 1].epoch;
+    ACE_CHECK_MSG(d0[i].epoch == prev + d0[i].window,
+                  "auto_advisor: decision not on its window's barrier epoch");
+  }
+  for (ProcId p = 1; p < procs; ++p) {
+    const auto dp = decisions_of(rt, p);
+    ACE_CHECK_MSG(dp.size() == d0.size(),
+                  "auto_advisor: decision counts differ across processors");
+    for (std::size_t i = 0; i < d0.size(); ++i)
+      ACE_CHECK_MSG(dp[i].epoch == d0[i].epoch &&
+                        dp[i].chosen == d0[i].chosen &&
+                        dp[i].switched == d0[i].switched &&
+                        dp[i].reason == d0[i].reason,
+                    "auto_advisor: decisions diverged across processors");
+  }
+
+  // Clean reference run: the chaos schedule must not change what the
+  // advisor decides, only when messages land.
+  Machine ref(procs);
+  ace::Runtime ref_rt(ref);
+  ref_rt.run(workload);
+  ACE_CHECK_MSG(switches_of(decisions_of(ref_rt, 0)) == switches_of(d0),
+                "auto_advisor: switch sequence depends on delivery schedule");
+}
+
 /// Collectives under chaos: bcast_bytes / allreduce_sum / allreduce_min
 /// rounds with analytically known results.
 void collectives(Machine& machine, std::uint32_t) {
@@ -403,6 +491,7 @@ constexpr Scenario kScenarios[] = {
     {"pipelined_accumulate", pipelined_accumulate},
     {"locks_mutex", locks_mutex},
     {"producer_consumer", producer_consumer},
+    {"auto_advisor", auto_advisor},
     {"collectives", collectives},
     {"crl_sweep", crl_sweep},
     {"bsc_small", bsc_small},

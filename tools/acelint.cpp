@@ -46,7 +46,7 @@ std::size_t check_stage(const KernelCase& kc, const Function& f,
   const VerifyOptions vo{.null_hooks_elided = std::strcmp(stage, "dc") == 0};
   std::size_t n = 0;
   n += report(verify(f, kc.space_protocols, registry, vo));
-  n += report(lint(f, analyze(f, kc.space_protocols, registry)));
+  n += report(lint(f, analyze(f, kc.space_protocols, registry), &registry));
   if (!opt.quiet)
     std::printf("%-11s %-4s %-28s %s (%zu insts)\n", kc.name.c_str(), stage,
                 f.name.c_str(), n == 0 ? "clean" : "DIAGNOSTICS", f.code.size());
