@@ -36,7 +36,8 @@ enum class Strategy { kSC, kDynamic, kSwitch };
 
 bench::RunResult run_strategy(Strategy strat, std::uint32_t procs,
                               std::uint32_t rounds, std::uint32_t phase_len) {
-  am::Machine machine(procs);
+  auto machine_ptr = am::Machine::create({.nprocs = procs});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   const auto t0 = std::chrono::steady_clock::now();
   rt.run([&](RuntimeProc& rp) {

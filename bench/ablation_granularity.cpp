@@ -39,7 +39,8 @@ struct Layout {
 bench::RunResult run_layout(std::uint32_t procs, std::uint32_t iters,
                             std::uint32_t words_per_proc,
                             std::uint32_t regions_total) {
-  am::Machine machine(procs);
+  auto machine_ptr = am::Machine::create({.nprocs = procs});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   const std::uint32_t total_words = words_per_proc * procs;
   const std::uint32_t words_per_region = total_words / regions_total;

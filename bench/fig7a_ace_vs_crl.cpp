@@ -8,11 +8,18 @@
 // mapping technique, and roughly even on coarse-grained BSC, where the
 // space->protocol dispatch indirection eats the runtime-system gains.
 //
-// Usage: fig7a_ace_vs_crl [--procs=8] [--full] [--seed=N] [--trace] [--chaos-seed=N]
+// Usage: fig7a_ace_vs_crl [--procs=8] [--full] [--seed=N] [--trace]
+//                         [--chaos-seed=N] [--backend=thread|proc]
+//                         [--time=modeled|wall]
 //   --full uses the paper's input sizes (Table 3); the default scales the
 //   two largest inputs down so the whole bench suite stays fast.
 //   --trace records each Ace run's virtual-time event trace and writes
 //   TRACE_fig7a_<app>.json (Chrome trace-event format; open in Perfetto).
+//   --backend=proc runs every processor as a real forked process over Unix
+//   sockets; per-app checksums in the json match --backend=thread
+//   bit-for-bit (the conformance suite asserts this).
+//   --time=wall charges handlers host time instead of the CM-5 cost model
+//   (wall_s stays honest wall time either way).
 // Writes BENCH_fig7a.json next to the human tables (schema: EXPERIMENTS.md).
 
 #include <cstdio>
@@ -59,19 +66,33 @@ int main(int argc, char** argv) {
   const bool trace = cli.get_bool("trace", false);
   const auto chaos_seed =
       static_cast<std::uint64_t>(cli.get_int("chaos-seed", 0));
+  const std::string backend_arg = cli.get_string("backend", "thread");
+  const std::string time_arg = cli.get_string("time", "modeled");
   cli.finish();
 
+  ace::am::Backend backend = ace::am::Backend::kThread;
+  if (!ace::am::parse_backend(backend_arg, backend)) {
+    std::fprintf(stderr, "unknown --backend=%s (want thread|proc)\n",
+                 backend_arg.c_str());
+    return 2;
+  }
+  const auto time_mode = time_arg == "wall" ? ace::am::TimeMode::kWall
+                                            : ace::am::TimeMode::kModeled;
+
+  bench::RunOptions base;
+  base.backend = backend;
+  base.time_mode = time_mode;
+  base.chaos_seed = chaos_seed;
   auto trace_opt = [&](const std::string& app) {
-    bench::RunOptions o;
+    auto o = base;
     if (trace) o.trace_path = "TRACE_fig7a_" + app + ".json";
-    o.chaos_seed = chaos_seed;
     return o;
   };
 
   std::printf(
       "Figure 7a: Ace runtime vs CRL, both on the SC invalidation protocol\n"
-      "(procs=%u, %s inputs; paper ran 32 CM-5 nodes)\n\n",
-      procs, full ? "paper-scale" : "scaled");
+      "(procs=%u, %s inputs, %s backend; paper ran 32 CM-5 nodes)\n\n",
+      procs, full ? "paper-scale" : "scaled", ace::am::backend_name(backend));
 
   std::vector<Row> rows;
 
@@ -82,9 +103,14 @@ int main(int argc, char** argv) {
     p.seed = seed;
     p.map_per_access = true;  // CRL 1.0 annotation style (see em3d.hpp)
     Row row{"Barnes-Hut", {}, {}};
-    row.crl = bench::run_crl(procs, [&](CrlApi& a) { bh_run(a, p); });
-    row.ace = bench::run_ace(procs, [&](AceApi& a) { bh_run(a, p); },
-                             trace_opt("barnes_hut"));
+    double cck = 0, ack = 0;
+    row.crl = bench::run_crl(
+        procs, [&](CrlApi& a) { cck = bh_run(a, p).checksum; }, base);
+    row.ace = bench::run_ace(
+        procs, [&](AceApi& a) { ack = bh_run(a, p).checksum; },
+        trace_opt("barnes_hut"));
+    row.crl.checksum = cck;
+    row.ace.checksum = ack;
     rows.push_back(row);
   }
   {
@@ -94,9 +120,14 @@ int main(int argc, char** argv) {
     p.band = 6;
     p.seed = seed;
     Row row{"BSC", {}, {}};
-    row.crl = bench::run_crl(procs, [&](CrlApi& a) { bsc_run(a, p); });
-    row.ace = bench::run_ace(procs, [&](AceApi& a) { bsc_run(a, p); },
-                             trace_opt("bsc"));
+    double cck = 0, ack = 0;
+    row.crl = bench::run_crl(
+        procs, [&](CrlApi& a) { cck = bsc_run(a, p).checksum; }, base);
+    row.ace = bench::run_ace(
+        procs, [&](AceApi& a) { ack = bsc_run(a, p).checksum; },
+        trace_opt("bsc"));
+    row.crl.checksum = cck;
+    row.ace.checksum = ack;
     rows.push_back(row);
   }
   {
@@ -107,9 +138,14 @@ int main(int argc, char** argv) {
     p.seed = seed;
     p.map_per_access = true;  // CRL 1.0 annotation style
     Row row{"EM3D", {}, {}};
-    row.crl = bench::run_crl(procs, [&](CrlApi& a) { em3d_run(a, p); });
-    row.ace = bench::run_ace(procs, [&](AceApi& a) { em3d_run(a, p); },
-                             trace_opt("em3d"));
+    double cck = 0, ack = 0;
+    row.crl = bench::run_crl(
+        procs, [&](CrlApi& a) { cck = em3d_run(a, p).checksum; }, base);
+    row.ace = bench::run_ace(
+        procs, [&](AceApi& a) { ack = em3d_run(a, p).checksum; },
+        trace_opt("em3d"));
+    row.crl.checksum = cck;
+    row.ace.checksum = ack;
     rows.push_back(row);
   }
   {
@@ -120,9 +156,17 @@ int main(int argc, char** argv) {
     Row row{"TSP", {}, {}};
     for (std::uint64_t s = 0; s < 5; ++s) {
       p.seed = seed + s;
-      const auto c = bench::run_crl(procs, [&](CrlApi& a) { tsp_run(a, p); });
-      const auto x = bench::run_ace(procs, [&](AceApi& a) { tsp_run(a, p); },
-                                    trace_opt("tsp"));
+      double cck = 0, ack = 0;  // best tour length (post-barrier: agreed)
+      auto c = bench::run_crl(
+          procs,
+          [&](CrlApi& a) { cck = static_cast<double>(tsp_run(a, p).best_len); },
+          base);
+      auto x = bench::run_ace(
+          procs,
+          [&](AceApi& a) { ack = static_cast<double>(tsp_run(a, p).best_len); },
+          trace_opt("tsp"));
+      c.checksum = cck;
+      x.checksum = ack;
       bench::accumulate(row.crl, c);
       bench::accumulate(row.ace, x);
     }
@@ -134,9 +178,14 @@ int main(int argc, char** argv) {
     p.steps = 3;
     p.seed = seed;
     Row row{"Water", {}, {}};
-    row.crl = bench::run_crl(procs, [&](CrlApi& a) { water_run(a, p); });
-    row.ace = bench::run_ace(procs, [&](AceApi& a) { water_run(a, p); },
-                             trace_opt("water"));
+    double cck = 0, ack = 0;
+    row.crl = bench::run_crl(
+        procs, [&](CrlApi& a) { cck = water_run(a, p).checksum; }, base);
+    row.ace = bench::run_ace(
+        procs, [&](AceApi& a) { ack = water_run(a, p).checksum; },
+        trace_opt("water"));
+    row.crl.checksum = cck;
+    row.ace.checksum = ack;
     rows.push_back(row);
   }
 

@@ -19,7 +19,9 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,9 +37,16 @@ namespace bench {
 
 struct RunResult {
   double modeled_s = 0;  ///< max virtual clock, seconds
+  /// Honest wall time: on the process backend the max across ranks of each
+  /// rank's run() duration (real IPC!), else this process's measurement.
   double wall_s = 0;
   std::uint64_t msgs = 0;
   double mbytes = 0;
+  /// Which backend carried the run ("thread" / "proc-socket").
+  std::string backend = "thread";
+  /// Application checksum (when the bench captures one); compared
+  /// bit-for-bit between backends by the conformance suite.
+  double checksum = 0;
   /// Per-(space, protocol) breakdown, merged across processors (for CRL
   /// runs: one pseudo-space labeled "CRL-SC").  Message/byte counts here
   /// cover space-attributed traffic (protocol, lock, and map messages);
@@ -49,8 +58,18 @@ struct RunResult {
   std::vector<ace::adapt::SpaceDecisions> decisions;
 };
 
-/// Optional per-run knobs (virtual-time tracing, fault injection).
+/// Optional per-run knobs (backend selection, virtual-time tracing, fault
+/// injection).
 struct RunOptions {
+  /// Which Machine backend carries the processors (--backend=thread|proc).
+  /// With kProc every run_ace/run_crl call forks its rank processes and
+  /// joins them when the machine is destroyed at end of scope, so code
+  /// after the call runs on rank 0 only.
+  ace::am::Backend backend = ace::am::Backend::kThread;
+  /// kWall makes modeled_s read the host clock too (--time=wall); wall_s is
+  /// always honest wall time regardless.
+  ace::am::TimeMode time_mode = ace::am::TimeMode::kModeled;
+  std::uint32_t watchdog_ms = 120'000;
   /// When non-empty, record a trace and export it here as Chrome
   /// trace-event JSON (load in Perfetto / chrome://tracing).
   std::string trace_path;
@@ -61,11 +80,23 @@ struct RunOptions {
   std::uint64_t chaos_seed = 0;
 };
 
+/// Build the machine a run asked for (the factory keeps benches
+/// backend-neutral).  With Backend::kProc this forks: ranks 1..N-1 execute
+/// the same SPMD code from here until the machine is destroyed.
+inline std::unique_ptr<ace::am::Machine> make_machine(std::uint32_t procs,
+                                                      const RunOptions& opt) {
+  return ace::am::Machine::create({.nprocs = procs,
+                                   .backend = opt.backend,
+                                   .time_mode = opt.time_mode,
+                                   .watchdog_ms = opt.watchdog_ms});
+}
+
 /// Run `fn` (an SPMD body using AceApi) on a fresh machine/runtime.
 inline RunResult run_ace(std::uint32_t procs,
                          const std::function<void(apps::AceApi&)>& fn,
                          const RunOptions& opt = {}) {
-  ace::am::Machine machine(procs);
+  auto machine_ptr = make_machine(procs, opt);
+  ace::am::Machine& machine = *machine_ptr;
   ace::Runtime rt(machine);
   if (!opt.trace_path.empty()) machine.enable_tracing(opt.trace_events_per_proc);
   if (opt.chaos_seed != 0) {
@@ -73,13 +104,11 @@ inline RunResult run_ace(std::uint32_t procs,
     copt.seed = opt.chaos_seed;
     machine.set_chaos(copt);
   }
-  const auto t0 = std::chrono::steady_clock::now();
   rt.run([&](ace::RuntimeProc& rp) {
     apps::AceApi api(rp);
     fn(api);
   });
-  const auto t1 = std::chrono::steady_clock::now();
-  if (!opt.trace_path.empty()) {
+  if (!opt.trace_path.empty() && machine.is_primary()) {
     if (machine.write_trace(opt.trace_path))
       std::fprintf(stderr, "trace written to %s\n", opt.trace_path.c_str());
     else
@@ -87,20 +116,24 @@ inline RunResult run_ace(std::uint32_t procs,
   }
   RunResult r;
   r.modeled_s = static_cast<double>(machine.max_vclock_ns()) * 1e-9;
-  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.wall_s = static_cast<double>(machine.last_run_wall_ns()) * 1e-9;
+  r.backend = ace::am::backend_name(machine.backend());
   const auto s = machine.aggregate_stats();
   r.msgs = s.msgs_sent;
   r.mbytes = static_cast<double>(s.bytes_sent) / 1e6;
   r.spaces = rt.aggregate_space_metrics();
   r.decisions = ace::adapt::collect_decisions(rt);
   return r;
+  // ~Machine here: on the process backend ranks 1..N-1 exit inside it, so
+  // everything after a run_ace call is rank-0-only code.
 }
 
 /// Run `fn` (an SPMD body using CrlApi) on a fresh machine/CRL runtime.
 inline RunResult run_crl(std::uint32_t procs,
                          const std::function<void(apps::CrlApi&)>& fn,
                          const RunOptions& opt = {}) {
-  ace::am::Machine machine(procs);
+  auto machine_ptr = make_machine(procs, opt);
+  ace::am::Machine& machine = *machine_ptr;
   crl::CrlRuntime rt(machine);
   if (!opt.trace_path.empty()) machine.enable_tracing(opt.trace_events_per_proc);
   if (opt.chaos_seed != 0) {
@@ -108,19 +141,18 @@ inline RunResult run_crl(std::uint32_t procs,
     copt.seed = opt.chaos_seed;
     machine.set_chaos(copt);
   }
-  const auto t0 = std::chrono::steady_clock::now();
   rt.run([&](crl::CrlProc& cp) {
     apps::CrlApi api(cp);
     fn(api);
   });
-  const auto t1 = std::chrono::steady_clock::now();
-  if (!opt.trace_path.empty()) {
+  if (!opt.trace_path.empty() && machine.is_primary()) {
     if (machine.write_trace(opt.trace_path))
       std::fprintf(stderr, "trace written to %s\n", opt.trace_path.c_str());
   }
   RunResult r;
   r.modeled_s = static_cast<double>(machine.max_vclock_ns()) * 1e-9;
-  r.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  r.wall_s = static_cast<double>(machine.last_run_wall_ns()) * 1e-9;
+  r.backend = ace::am::backend_name(machine.backend());
   const auto s = machine.aggregate_stats();
   r.msgs = s.msgs_sent;
   r.mbytes = static_cast<double>(s.bytes_sent) / 1e6;
@@ -153,6 +185,8 @@ inline void accumulate(RunResult& into, const RunResult& r) {
   into.wall_s += r.wall_s;
   into.msgs += r.msgs;
   into.mbytes += r.mbytes;
+  into.checksum += r.checksum;
+  into.backend = r.backend;
   auto all = into.spaces;
   all.insert(all.end(), r.spaces.begin(), r.spaces.end());
   into.spaces = ace::obs::merge_by_key(all);
@@ -178,10 +212,19 @@ inline std::string to_json(const std::string& name,
     w.begin_object();
     w.kv("label", row.label);
     w.kv("variant", row.variant);
+    w.kv("backend", row.res.backend);
     w.kv("modeled_s", row.res.modeled_s);
     w.kv("wall_s", row.res.wall_s);
     w.kv("msgs", row.res.msgs);
     w.kv("mbytes", row.res.mbytes);
+    w.kv("checksum", row.res.checksum);
+    {
+      // Exact bit pattern next to the (rounded) decimal rendering, so
+      // cross-backend parity can be asserted from the json alone.
+      std::uint64_t bits = 0;
+      std::memcpy(&bits, &row.res.checksum, sizeof bits);
+      w.kv("checksum_bits", bits);
+    }
     w.key("spaces");
     w.begin_array();
     for (const auto& sm : row.res.spaces) {

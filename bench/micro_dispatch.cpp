@@ -7,6 +7,8 @@
 // (a) the dispatching entry points, (b) the direct-call entry points the
 // compiler emits for a unique protocol, and (c) the raw protocol hook.
 
+#include <memory>
+
 #include <benchmark/benchmark.h>
 
 #include "ace/runtime.hpp"
@@ -17,7 +19,8 @@ namespace {
 using namespace ace;
 
 struct Env {
-  am::Machine machine{1};
+  std::unique_ptr<am::Machine> machine_ptr = am::Machine::create({.nprocs = 1});
+  am::Machine& machine = *machine_ptr;
   Runtime rt{machine};
   RegionId id = 0;
   void* ptr = nullptr;

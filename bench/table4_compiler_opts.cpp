@@ -45,7 +45,8 @@ struct Variant {
 /// Run one prepared IR function (or the hand version when f == nullptr).
 Variant run_variant(const std::string& name, const KernelCase& kc,
                     const Function* f, std::uint32_t procs) {
-  am::Machine machine(procs);
+  auto machine_ptr = am::Machine::create({.nprocs = procs});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   std::vector<KernelArgs> args(procs);
   rt.run([&](RuntimeProc& rp) { args[rp.me()] = kc.setup(rp); });

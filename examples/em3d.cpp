@@ -27,7 +27,8 @@ int main(int argc, char** argv) {
   for (const char* protocol :
        {"SC", "DynamicUpdate", "StaticUpdate"}) {
     p.protocol = protocol;
-    ace::am::Machine machine(procs);
+    auto machine_ptr = ace::am::Machine::create({.nprocs = procs});
+    ace::am::Machine& machine = *machine_ptr;
     ace::Runtime rt(machine);
     double checksum = 0;
     rt.run([&](ace::RuntimeProc& rp) {

@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
   for (int custom = 0; custom <= 1; ++custom) {
     p.custom_protocols = custom != 0;
     p.use_null_intra = true;
-    ace::am::Machine machine(procs);
+    auto machine_ptr = ace::am::Machine::create({.nprocs = procs});
+    ace::am::Machine& machine = *machine_ptr;
     ace::Runtime rt(machine);
     double checksum = 0;
     rt.run([&](ace::RuntimeProc& rp) {

@@ -29,7 +29,8 @@ struct Result {
 
 Result run(const std::string& protocol, std::uint32_t procs,
            std::uint32_t regions, std::uint32_t rounds) {
-  am::Machine machine(procs);
+  auto machine_ptr = am::Machine::create({.nprocs = procs});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   std::uint64_t checksum = 0;
   rt.run([&](RuntimeProc& rp) {

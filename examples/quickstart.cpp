@@ -20,7 +20,8 @@ int main(int argc, char** argv) {
   const auto procs = static_cast<std::uint32_t>(cli.get_int("procs", 4));
   cli.finish();
 
-  ace::am::Machine machine(procs);
+  auto machine_ptr = ace::am::Machine::create({.nprocs = procs});
+  ace::am::Machine& machine = *machine_ptr;
   ace::Runtime rt(machine);
 
   rt.run([](ace::RuntimeProc& rp) {

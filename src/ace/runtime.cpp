@@ -79,10 +79,15 @@ Runtime::Runtime(am::Machine& machine, Registry registry)
   h_gather_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
     RuntimeProc& rp = rproc_of(p);
     rp.coll_.arrived += 1;
-    if (m.args[1] == 0)
-      rp.coll_.sum += bits_double(m.args[0]);
-    else
+    if (m.args[1] == 0) {
+      // Park the contribution under its source rank; allreduce_sum at proc
+      // 0 folds the slots in rank order once everyone arrived.
+      auto& ds = rp.coll_.dsum;
+      if (ds.size() < p.nprocs()) ds.resize(p.nprocs(), 0.0);
+      ds[m.src] = bits_double(m.args[0]);
+    } else {
       rp.coll_.min = std::min(rp.coll_.min, m.args[0]);
+    }
   }, "ace.gather");
 
   h_reduce_u64_ = machine_.register_handler([](am::Proc& p, am::Message& m) {
@@ -118,10 +123,82 @@ RuntimeProc& Runtime::cur() {
   return *tls_rproc;
 }
 
+namespace {
+
+// Flat serialization for cross-rank metric gathers (process backend).
+// Layout: u32 count, then per segment u32 space | u32 proto_len |
+// proto bytes | DsmStats | u64 msgs | u64 bytes.  Host byte order: every
+// rank is a fork of the same binary.
+void put_raw(std::vector<std::byte>& b, const void* p, std::size_t n) {
+  const auto* s = static_cast<const std::byte*>(p);
+  b.insert(b.end(), s, s + n);
+}
+
+void get_raw(const std::vector<std::byte>& b, std::size_t& off, void* p,
+             std::size_t n) {
+  ACE_CHECK_MSG(off + n <= b.size(), "truncated metrics gather blob");
+  std::memcpy(p, b.data() + off, n);
+  off += n;
+}
+
+std::vector<std::byte> encode_segs(const std::vector<obs::SpaceMetrics>& segs) {
+  std::vector<std::byte> b;
+  const auto count = static_cast<std::uint32_t>(segs.size());
+  put_raw(b, &count, sizeof count);
+  for (const auto& s : segs) {
+    put_raw(b, &s.space, sizeof s.space);
+    const auto len = static_cast<std::uint32_t>(s.protocol.size());
+    put_raw(b, &len, sizeof len);
+    put_raw(b, s.protocol.data(), len);
+    put_raw(b, &s.dsm, sizeof s.dsm);
+    put_raw(b, &s.msgs, sizeof s.msgs);
+    put_raw(b, &s.bytes, sizeof s.bytes);
+  }
+  return b;
+}
+
+void decode_segs_into(const std::vector<std::byte>& b,
+                      std::vector<obs::SpaceMetrics>& out) {
+  std::size_t off = 0;
+  std::uint32_t count = 0;
+  get_raw(b, off, &count, sizeof count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    obs::SpaceMetrics s;
+    get_raw(b, off, &s.space, sizeof s.space);
+    std::uint32_t len = 0;
+    get_raw(b, off, &len, sizeof len);
+    s.protocol.resize(len);
+    get_raw(b, off, s.protocol.data(), len);
+    get_raw(b, off, &s.dsm, sizeof s.dsm);
+    get_raw(b, off, &s.msgs, sizeof s.msgs);
+    get_raw(b, off, &s.bytes, sizeof s.bytes);
+    out.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
 DsmStats Runtime::aggregate_dstats() const {
   DsmStats s;
   for (const auto& rp : rprocs_)
     if (rp) s.merge(rp->dstats_total());
+  if (machine_.multiprocess()) {
+    // Collective on the process backend: every rank contributes its local
+    // totals; rank 0 gets the machine-wide merge, other ranks keep local.
+    std::vector<std::byte> mine(sizeof(DsmStats));
+    std::memcpy(mine.data(), &s, sizeof s);
+    const auto blobs = machine_.gather_blobs(mine);
+    if (machine_.is_primary()) {
+      DsmStats total;
+      for (const auto& b : blobs) {
+        DsmStats d;
+        ACE_CHECK(b.size() == sizeof d);
+        std::memcpy(&d, b.data(), sizeof d);
+        total.merge(d);
+      }
+      return total;
+    }
+  }
   return s;
 }
 
@@ -129,6 +206,15 @@ std::vector<obs::SpaceMetrics> Runtime::aggregate_space_metrics() const {
   std::vector<obs::SpaceMetrics> all;
   for (const auto& rp : rprocs_)
     if (rp) all.insert(all.end(), rp->segs_.begin(), rp->segs_.end());
+  if (machine_.multiprocess()) {
+    // Collective on the process backend.  Rank order reproduces the thread
+    // backend's (proc-major, segment-minor) input order to merge_by_key.
+    const auto blobs = machine_.gather_blobs(encode_segs(all));
+    if (machine_.is_primary()) {
+      all.clear();
+      for (const auto& b : blobs) decode_segs_into(b, all);
+    }
+  }
   return obs::merge_by_key(all);
 }
 
@@ -579,11 +665,17 @@ RegionId RuntimeProc::bcast_region(RegionId id, ProcId root) {
 
 double RuntimeProc::allreduce_sum(double v) {
   if (me() == 0) {
-    coll_.sum += v;
+    auto& ds = coll_.dsum;
+    if (ds.size() < nprocs()) ds.resize(nprocs(), 0.0);
+    ds[0] = v;
     coll_.arrived += 1;
     proc_.wait_until([this] { return coll_.arrived == nprocs(); });
-    v = coll_.sum;
-    coll_.sum = 0;
+    // Rank-ordered fold: arrival order must not leak into the FP result
+    // (checksums are compared bit-for-bit across backends).
+    double sum = 0;
+    for (ProcId r = 0; r < nprocs(); ++r) sum += coll_.dsum[r];
+    v = sum;
+    coll_.dsum.clear();
     coll_.arrived = 0;
   } else {
     proc_.send(0, rt_.h_gather_, {double_bits(v), 0});

@@ -119,10 +119,13 @@ class RuntimeProc {
   // --- collectives (runtime-provided conveniences for SPMD apps) ---------
   void bcast_bytes(void* data, std::uint32_t n, ProcId root);
   RegionId bcast_region(RegionId id, ProcId root);
+  /// Floating-point sum.  Contributions are gathered per source rank and
+  /// summed in rank order at processor 0, so the result is bit-identical
+  /// across delivery schedules AND across machine backends (the thread-vs-
+  /// process checksum parity tests depend on this).
   double allreduce_sum(double v);
   std::uint64_t allreduce_min(std::uint64_t v);
-  /// Element-wise integer reduction over a fixed-length vector.  Unlike
-  /// allreduce_sum (floating point accumulated in arrival order), integer
+  /// Element-wise integer reduction over a fixed-length vector.  Integer
   /// sum/max are order-free, so the result is identical on every processor
   /// and across delivery schedules — the advisor's decisions depend on it.
   enum class ReduceOp : std::uint8_t { kSum, kMax };
@@ -241,7 +244,9 @@ class RuntimeProc {
     bool flag = false;
     std::vector<std::byte> buf;
     std::uint32_t arrived = 0;
-    double sum = 0;
+    // allreduce_sum contributions, indexed by source rank so proc 0 can sum
+    // them in rank order (deterministic across schedules and backends).
+    std::vector<double> dsum;
     std::uint64_t min = UINT64_MAX;
     // allreduce_u64 accumulator; handlers resize on demand so contributions
     // that arrive before proc 0 reaches the call site still land correctly.

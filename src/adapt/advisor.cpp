@@ -195,11 +195,26 @@ void Advisor::reset_window() {
   base_bytes_ = m.bytes;
 }
 
+SpaceId new_space(RuntimeProc& rp, const SpaceOptions& opts) {
+  const SpaceId s = rp.new_space(opts.protocol);
+  switch (opts.advisor) {
+    case SpaceOptions::Advisor::kOff:
+      break;
+    case SpaceOptions::Advisor::kAdvise:
+      advise(rp, s, opts.advisor_options);
+      break;
+    case SpaceOptions::Advisor::kAuto:
+      attach(rp, s, opts.advisor_options);
+      break;
+  }
+  return s;
+}
+
 SpaceId auto_space(RuntimeProc& rp, const std::string& initial_protocol,
                    AdvisorOptions opts) {
-  const SpaceId s = rp.new_space(initial_protocol);
-  attach(rp, s, std::move(opts));
-  return s;
+  return new_space(rp, {.protocol = initial_protocol,
+                        .advisor = SpaceOptions::Advisor::kAuto,
+                        .advisor_options = std::move(opts)});
 }
 
 Advisor* attach(RuntimeProc& rp, SpaceId space, AdvisorOptions opts) {
@@ -322,9 +337,15 @@ std::string write_report(const std::string& tag,
 
 namespace ace {
 
+SpaceId Ace_NewSpace(const SpaceOptions& opts) {
+  return adapt::new_space(Runtime::cur(), opts);
+}
+
 SpaceId Ace_AutoSpace(const std::string& initial_protocol,
                       adapt::AdvisorOptions opts) {
-  return adapt::auto_space(Runtime::cur(), initial_protocol, std::move(opts));
+  return Ace_NewSpace({.protocol = initial_protocol,
+                       .advisor = SpaceOptions::Advisor::kAuto,
+                       .advisor_options = std::move(opts)});
 }
 
 void Ace_Advise(SpaceId space, adapt::AdvisorOptions opts) {

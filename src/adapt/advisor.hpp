@@ -133,7 +133,8 @@ class Advisor : public SpaceObserver {
 };
 
 /// Create a space with an Advisor attached in execute mode.  Collective:
-/// call on every processor with the same arguments.
+/// call on every processor with the same arguments.  One-line forward to
+/// new_space(rp, SpaceOptions) — kept for the Table-2-style name.
 SpaceId auto_space(RuntimeProc& rp, const std::string& initial_protocol,
                    AdvisorOptions opts = {});
 
@@ -173,10 +174,39 @@ std::string write_report(const std::string& tag,
 
 namespace ace {
 
+/// The consolidated space-creation surface.  Ace_NewSpace(protocol),
+/// Ace_AutoSpace, and advisor attachment used to be three ad-hoc entry
+/// points; they are now one options struct consumed by a single
+/// Ace_NewSpace overload, with the Table-2-style names kept as one-line
+/// forwards.  Collective: call on every processor with the same options.
+struct SpaceOptions {
+  /// Initial protocol (registry name, see ace/registry.hpp).
+  std::string protocol = proto_names::kSC;
+  enum class Advisor : std::uint8_t {
+    kOff,     ///< plain space, no advisor
+    kAdvise,  ///< record-only advisor attached (Ace_Advise semantics)
+    kAuto,    ///< executing advisor attached (Ace_AutoSpace semantics)
+  };
+  Advisor advisor = Advisor::kOff;
+  /// Sampling/policy knobs; only consulted when advisor != kOff.
+  adapt::AdvisorOptions advisor_options{};
+};
+
+/// Create a space per `opts` (the one true entry point).
+SpaceId Ace_NewSpace(const SpaceOptions& opts);
+
 /// C-style API (Table 2 extension): Ace_NewSpace with an advisor attached.
+/// One-line forward to Ace_NewSpace(SpaceOptions).
 SpaceId Ace_AutoSpace(const std::string& initial_protocol,
                       adapt::AdvisorOptions opts = {});
 /// Attach a record-only advisor to an existing space.
 void Ace_Advise(SpaceId space, adapt::AdvisorOptions opts = {});
 
 }  // namespace ace
+
+namespace ace::adapt {
+
+/// The RuntimeProc-level implementation behind Ace_NewSpace(SpaceOptions).
+SpaceId new_space(RuntimeProc& rp, const SpaceOptions& opts);
+
+}  // namespace ace::adapt

@@ -2,12 +2,16 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <exception>
 #include <iostream>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
+#include <type_traits>
 
 #include "am/delivery.hpp"
+#include "am/transport.hpp"
 
 // The deadlock report runs on the stuck processor's thread while other
 // processor threads may still be mutating their own state; it reads that
@@ -33,22 +37,29 @@ void Proc::send(ProcId dst, HandlerId handler, std::array<std::uint64_t, 6> args
                 std::vector<std::byte> payload) {
   ACE_CHECK_MSG(dst < machine_->nprocs(), "send to an invalid processor");
   const auto bytes = static_cast<std::uint64_t>(payload.size());
-  if (!machine_->is_barrier_handler(handler))
+  const bool ctrl = machine_->is_control_handler(handler);
+  if (!ctrl && !machine_->is_barrier_handler(handler))
     charge(machine_->cost().message_cost_sender(bytes));
-  stats_.msgs_sent += 1;
-  stats_.bytes_sent += bytes;
-  trace(obs::EventKind::kAmSend, vclock_ns_, obs::kNoSpace, dst, bytes);
+  if (!ctrl) {
+    stats_.msgs_sent += 1;
+    stats_.bytes_sent += bytes;
+    trace(obs::EventKind::kAmSend, vclock_ns(), obs::kNoSpace, dst, bytes);
+  }
 
   Message m;
   m.handler = handler;
   m.src = id_;
   m.args = args;
   m.payload = std::move(payload);
-  m.send_vtime_ns = vclock_ns_;
+  m.send_vtime_ns = vclock_ns();
   // (src, seq) names the message uniquely at dst; dense per destination so
   // a replayed run assigns identical numbers regardless of how its sends to
   // *other* destinations interleave.
   m.seq = ++send_seq_[dst];
+  if (machine_->transport_ != nullptr && dst != id_) {
+    machine_->transport_->send(dst, m);
+    return;
+  }
   machine_->proc(dst).enqueue(std::move(m));
 }
 
@@ -71,10 +82,11 @@ void Proc::dispatch(Message& m, std::uint64_t jitter_ns) {
   // every blocking wait) and clocks are joined at barriers, which is where
   // SPMD programs actually synchronize.  Barrier traffic rides the CM-5's
   // control network and charges nothing.
-  const std::uint64_t t0 = vclock_ns_;
-  if (!machine_->is_barrier_handler(m.handler))
-    vclock_ns_ += machine_->cost().handler_dispatch_ns + jitter_ns;
-  stats_.msgs_received += 1;
+  const std::uint64_t t0 = vclock_ns();
+  const bool ctrl = machine_->is_control_handler(m.handler);
+  if (!ctrl && !machine_->is_barrier_handler(m.handler))
+    charge(machine_->cost().handler_dispatch_ns + jitter_ns);
+  if (!ctrl) stats_.msgs_received += 1;
   // Payload size is captured before the handler runs: data-installing
   // handlers move the payload out, which used to trace every bulk-data
   // dispatch as zero bytes.
@@ -86,6 +98,11 @@ void Proc::dispatch(Message& m, std::uint64_t jitter_ns) {
 
 std::size_t Proc::poll() {
   stats_.polls += 1;
+  // Process backend: pull every already-arrived frame off the sockets into
+  // the mailbox first, so one poll() sees the same "everything that has
+  // arrived" batch semantics as the thread backend.
+  if (machine_->transport_ != nullptr)
+    machine_->transport_->drain([this](Message&& m) { enqueue(std::move(m)); });
   // Swap out the mailbox so handlers can send to *this* processor (e.g. a
   // home node forwarding to itself) without self-deadlock or iterator
   // invalidation.
@@ -131,6 +148,20 @@ void Proc::wait_for_mail() {
     std::this_thread::sleep_for(std::chrono::microseconds(10));
     return;
   }
+  if (machine_->transport_ != nullptr) {
+    // Socket path: block in poll(2) on the incoming fds until a frame lands
+    // in the mailbox (same watchdog escalation as the cv path below).
+    {
+      std::lock_guard lk(mail_mu_);
+      if (!mailbox_.empty()) return;
+    }
+    if (!machine_->transport_->wait_readable(
+            machine_->watchdog,
+            [this](Message&& m) { enqueue(std::move(m)); }))
+      machine_->report_deadlock(
+          *this, "rank blocked with no inbound frames past the watchdog");
+    return;
+  }
   std::unique_lock lk(mail_mu_);
   if (!mailbox_.empty()) return;
   if (!mail_cv_.wait_for(lk, machine_->watchdog,
@@ -143,12 +174,12 @@ void Proc::wait_for_mail() {
 
 void Proc::barrier() {
   stats_.barriers += 1;
-  const std::uint64_t t0 = vclock_ns_;
+  const std::uint64_t t0 = vclock_ns();
   const std::uint32_t epoch = barrier_epoch_;
   if (id_ == 0) {
     // Count self, wait for the other P-1 arrivals, then release everyone.
     arrivals_ += 1;
-    barrier_max_vtime_ = std::max(barrier_max_vtime_, vclock_ns_);
+    barrier_max_vtime_ = std::max(barrier_max_vtime_, vclock_ns());
     wait_until([&] { return arrivals_ == machine_->nprocs(); });
     const std::uint64_t release =
         barrier_max_vtime_ + machine_->cost().barrier_ns;
@@ -159,7 +190,7 @@ void Proc::barrier() {
     for (ProcId p = 1; p < machine_->nprocs(); ++p)
       send(p, machine_->barrier_release_, {release});
   } else {
-    send(0, machine_->barrier_arrive_, {vclock_ns_});
+    send(0, machine_->barrier_arrive_, {vclock_ns()});
     wait_until([&] { return release_epoch_ > epoch; });
     vclock_ns_ = std::max(vclock_ns_, barrier_release_vtime_);
   }
@@ -173,14 +204,35 @@ void Proc::set_delivery(std::unique_ptr<DeliveryPolicy> policy) {
   hold_spin_armed_ = false;
 }
 
-Machine::Machine(std::uint32_t nprocs, CostModel cost) : cost_(cost) {
-  ACE_CHECK(nprocs >= 1);
-  procs_.reserve(nprocs);
-  for (std::uint32_t p = 0; p < nprocs; ++p) {
+Machine::Machine(std::uint32_t nprocs, CostModel cost)
+    : Machine(MachineOptions{.nprocs = nprocs, .cost_model = cost}, nullptr) {}
+
+std::unique_ptr<Machine> Machine::create(const MachineOptions& opts) {
+  ACE_CHECK(opts.nprocs >= 1);
+  std::unique_ptr<Transport> transport;
+  // A 1-rank "process" machine needs no mesh; everything is a self-send.
+  if (opts.backend == Backend::kProc && opts.nprocs > 1)
+    transport = make_socket_transport(opts.nprocs, opts.watchdog_ms);
+  return std::unique_ptr<Machine>(new Machine(opts, std::move(transport)));
+}
+
+Machine::Machine(const MachineOptions& opts, std::unique_ptr<Transport> transport)
+    : cost_(opts.cost_model),
+      backend_(opts.backend),
+      time_mode_(opts.time_mode),
+      transport_(std::move(transport)) {
+  ACE_CHECK(opts.nprocs >= 1);
+  self_rank_ = transport_ != nullptr ? transport_->self() : 0;
+  watchdog = std::chrono::milliseconds{opts.watchdog_ms};
+  const auto epoch = std::chrono::steady_clock::now();
+  procs_.reserve(opts.nprocs);
+  for (std::uint32_t p = 0; p < opts.nprocs; ++p) {
     auto proc = std::make_unique<Proc>();
     proc->machine_ = this;
     proc->id_ = p;
-    proc->send_seq_.resize(nprocs, 0);
+    proc->time_mode_ = time_mode_;
+    proc->wall_epoch_ = epoch;
+    proc->send_seq_.resize(opts.nprocs, 0);
     procs_.push_back(std::move(proc));
   }
   barrier_arrive_ = register_handler(
@@ -196,6 +248,39 @@ Machine::Machine(std::uint32_t nprocs, CostModel cost) : cost_(cost) {
         self.release_epoch_ += 1;
       },
       "am.barrier_release");
+  rank_done_ = register_handler(
+      [](Proc& self, Message& m) {
+        ACE_DCHECK(self.id() == 0);
+        Machine& mm = self.machine();
+        mm.done_arrivals_ += 1;
+        if (m.args[0] != 0) mm.any_rank_failed_ = true;
+      },
+      "am.rank_done");
+  all_done_ = register_handler(
+      [](Proc& self, Message& m) {
+        Machine& mm = self.machine();
+        mm.all_done_flag_ = true;
+        if (m.args[0] != 0) mm.any_rank_failed_ = true;
+      },
+      "am.all_done");
+  // Fence classification for the transport's drain reordering: socket scan
+  // order is not causal order, and the delivery policies' fence semantics
+  // (flush lemma under chaos) need barrier frames sequenced after the user
+  // frames sent before them.
+  if (transport_ != nullptr)
+    transport_->set_fence_predicate(
+        [this](HandlerId h) { return is_barrier_handler(h); });
+  if (opts.trace) enable_tracing(opts.trace_events_per_proc);
+}
+
+Machine::~Machine() { finalize(); }
+
+int Machine::finalize() {
+  if (transport_ == nullptr || finalized_) return 0;
+  finalized_ = true;
+  int code = 0;
+  if (self_rank_ != 0 && child_exit_code) code = child_exit_code();
+  return transport_->finalize(code);  // ranks != 0 exit inside
 }
 
 HandlerId Machine::register_handler(Handler fn, std::string name) {
@@ -211,6 +296,11 @@ const char* Machine::handler_name(HandlerId h) const {
 }
 
 void Machine::run(const ProcFn& fn) {
+  if (transport_ != nullptr) {
+    run_multiprocess(fn);
+    return;
+  }
+  const auto wall0 = std::chrono::steady_clock::now();
   running_ = true;
   // Finalize phase (MPI_Finalize-style): a processor that finishes its
   // program keeps servicing incoming requests until *every* processor has
@@ -258,7 +348,113 @@ void Machine::run(const ProcFn& fn) {
   }
   for (auto& t : threads) t.join();
   running_ = false;
+  last_run_wall_ns_ = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - wall0)
+          .count());
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void Machine::run_multiprocess(const ProcFn& fn) {
+  Proc& p = *procs_[self_rank_];
+  const auto wall0 = std::chrono::steady_clock::now();
+  running_ = true;
+  done_arrivals_ = 0;
+  all_done_flag_ = false;
+  any_rank_failed_ = false;
+  tls_proc = &p;
+  std::exception_ptr err;
+  try {
+    fn(p);
+  } catch (...) {
+    err = std::current_exception();
+  }
+  // Finalize phase, mirroring the thread backend's done-counting: a rank
+  // that finishes its program keeps servicing incoming requests until every
+  // rank has finished, else a straggler blocked on a request to an
+  // already-finished home would deadlock.  The counting itself rides
+  // control messages (rank_done to rank 0, all_done back out) because ranks
+  // share no memory.
+  if (err != nullptr) any_rank_failed_ = true;
+  if (self_rank_ == 0) {
+    done_arrivals_ += 1;  // count self
+    p.wait_until([&] { return done_arrivals_ == nprocs(); });
+    const std::uint64_t failed = any_rank_failed_ ? 1 : 0;
+    for (ProcId r = 1; r < nprocs(); ++r) p.send(r, all_done_, {failed});
+  } else {
+    p.send(0, rank_done_, {err != nullptr ? std::uint64_t{1} : 0});
+    p.wait_until([&] { return all_done_flag_; });
+  }
+  if (!any_rank_failed_) {
+    // Closing barriers drain residual traffic (flush lemma) so the next
+    // run starts with empty mailboxes and sockets; then the wire is
+    // quiescent and the stats gather may ride it as control blobs.
+    p.barrier();
+    p.barrier();
+    const auto wall_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall0)
+            .count());
+    exchange_run_stats(wall_ns);
+  }
+  // On failure the closing barriers and the stats exchange are skipped on
+  // every rank (same rationale as the thread backend: the barrier may be
+  // mid-epoch); the machine is not assumed clean afterwards.
+  tls_proc = nullptr;
+  running_ = false;
+  if (err != nullptr) std::rethrow_exception(err);
+  if (any_rank_failed_)
+    throw std::runtime_error("am::Machine::run: a peer rank failed");
+}
+
+void Machine::exchange_run_stats(std::uint64_t my_wall_ns) {
+  Proc& p = *procs_[self_rank_];
+  // POD record; memcpy-safe between forked copies of the same binary.
+  struct Record {
+    Stats stats;
+    std::uint64_t vclock_ns;
+    std::uint64_t wall_ns;
+  };
+  static_assert(std::is_trivially_copyable_v<Record>);
+  const auto sink = [&p](Message&& m) { p.enqueue(std::move(m)); };
+  if (self_rank_ == 0) {
+    remote_stats_.assign(nprocs(), Stats{});
+    remote_vclock_ns_.assign(nprocs(), 0);
+    last_run_wall_ns_ = my_wall_ns;
+    for (ProcId r = 1; r < nprocs(); ++r) {
+      const auto blob = transport_->recv_blob(r, watchdog, sink);
+      ACE_CHECK(blob.size() == sizeof(Record));
+      Record rec;
+      std::memcpy(&rec, blob.data(), sizeof rec);
+      remote_stats_[r] = rec.stats;
+      remote_vclock_ns_[r] = rec.vclock_ns;
+      last_run_wall_ns_ = std::max(last_run_wall_ns_, rec.wall_ns);
+    }
+  } else {
+    Record mine{p.stats_, p.vclock_ns(), my_wall_ns};
+    std::vector<std::byte> blob(sizeof mine);
+    std::memcpy(blob.data(), &mine, sizeof mine);
+    transport_->send_blob(0, blob);
+    last_run_wall_ns_ = my_wall_ns;
+  }
+}
+
+std::vector<std::vector<std::byte>> Machine::gather_blobs(
+    const std::vector<std::byte>& mine) {
+  ACE_CHECK_MSG(transport_ != nullptr && !running_,
+                "gather_blobs is a process-backend collective for quiescent "
+                "points between runs");
+  std::vector<std::vector<std::byte>> out(nprocs());
+  out[self_rank_] = mine;
+  Proc& p = *procs_[self_rank_];
+  const auto sink = [&p](Message&& m) { p.enqueue(std::move(m)); };
+  if (self_rank_ == 0) {
+    for (ProcId r = 1; r < nprocs(); ++r)
+      out[r] = transport_->recv_blob(r, watchdog, sink);
+  } else {
+    transport_->send_blob(0, mine);
+  }
+  return out;
 }
 
 Proc& Machine::self() {
@@ -269,30 +465,56 @@ Proc& Machine::self() {
 
 Stats Machine::aggregate_stats() const {
   Stats s;
+  if (transport_ != nullptr) {
+    // Ranks share no memory; rank 0 merges its own stats with the remote
+    // records cached by the last run's epilogue.  On other ranks this is
+    // the local contribution only.
+    s.merge(procs_[self_rank_]->stats_);
+    for (const auto& r : remote_stats_) s.merge(r);
+    return s;
+  }
   for (const auto& p : procs_) s.merge(p->stats_);
   return s;
 }
 
 std::uint64_t Machine::max_vclock_ns() const {
+  if (transport_ != nullptr) {
+    std::uint64_t t = procs_[self_rank_]->vclock_ns();
+    for (const auto v : remote_vclock_ns_) t = std::max(t, v);
+    return t;
+  }
   std::uint64_t t = 0;
-  for (const auto& p : procs_) t = std::max(t, p->vclock_ns_);
+  for (const auto& p : procs_) t = std::max(t, p->vclock_ns());
   return t;
 }
 
 void Machine::reset_stats() {
+  const auto epoch = std::chrono::steady_clock::now();
   for (auto& p : procs_) {
     p->stats_ = Stats{};
     p->vclock_ns_ = 0;
+    p->wall_epoch_ = epoch;  // TimeMode::kWall clocks restart at zero
   }
+  remote_stats_.clear();
+  remote_vclock_ns_.clear();
+  last_run_wall_ns_ = 0;
 }
 
 ACE_NO_SANITIZE_THREAD
 void Machine::write_deadlock_report(std::ostream& os, const Proc& stuck,
                                     const char* why) const {
   os << "=== ace::am deadlock report ===\n";
+  os << "backend: " << backend_name(backend_);
+  if (transport_ != nullptr)
+    os << " (this is rank " << self_rank_ << " of " << nprocs()
+       << "; peer ranks report separately)";
+  os << "\n";
   os << "stuck: proc " << stuck.id_ << " — " << why << " (watchdog "
      << watchdog.count() << " ms)\n";
   for (const auto& p : procs_) {
+    // Process backend: only this rank's processor is live in this address
+    // space — the others are inert fork copies with nothing to report.
+    if (transport_ != nullptr && p->id_ != self_rank_) continue;
     os << "proc " << p->id_ << ": vclock_ns=" << p->vclock_ns_
        << " barrier_epoch=" << p->barrier_epoch_
        << " release_epoch=" << p->release_epoch_;

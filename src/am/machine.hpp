@@ -1,9 +1,24 @@
-// The simulated distributed-memory machine.
+// The distributed-memory machine.
 //
 // `Machine` models the paper's hardware substrate (a 32-node CM-5): P
-// "processors", each an OS thread with a private heap, communicating *only*
-// through Active-Message mailboxes.  The delivery discipline is CRL's polling
-// model, which the paper's runtime inherits:
+// "processors" communicating *only* through Active-Message mailboxes.  Two
+// backends carry the processors (am/options.hpp):
+//
+//   * Backend::kThread — one OS thread per processor in this process,
+//     mailboxes are in-memory deques, time is modeled.  Deterministic; the
+//     substrate for tests, fuzzing, and replay.
+//   * Backend::kProc — one OS *process* per processor, messages serialized
+//     over a Unix-domain socket mesh (am/transport.hpp).  The creating
+//     process is rank 0; ranks 1..N-1 fork at Machine::create, execute the
+//     same program SPMD, and exit when the Machine is destroyed (so code
+//     after destruction runs on rank 0 only — where benches report).
+//
+// Construction goes through Machine::create(MachineOptions); the old
+// Machine(nprocs, cost) constructor is a deprecated wrapper that always
+// builds the thread backend.
+//
+// The delivery discipline on both backends is CRL's polling model, which
+// the paper's runtime inherits:
 //
 //   * a handler runs only on its destination processor's own thread, when
 //     that processor polls (at protocol entry points and inside blocking
@@ -31,6 +46,7 @@
 #include <vector>
 
 #include "am/message.hpp"
+#include "am/options.hpp"
 #include "am/stats.hpp"
 #include "common/align.hpp"
 #include "common/check.hpp"
@@ -40,6 +56,7 @@ namespace ace::am {
 
 class Machine;
 class DeliveryPolicy;
+class Transport;
 struct ChaosOptions;
 
 /// Context-slot indices for layers that attach per-processor state to a Proc.
@@ -77,14 +94,22 @@ class Proc {
     }
   }
 
-  /// Advance the virtual clock (software path or compute cost).
-  void charge(std::uint64_t ns) { vclock_ns_ += ns; }
+  /// Advance the virtual clock (software path or compute cost).  A no-op
+  /// in TimeMode::kWall, where the clock reads the host's monotonic clock.
+  void charge(std::uint64_t ns) {
+    if (time_mode_ == TimeMode::kModeled) vclock_ns_ += ns;
+  }
 
   /// Charge the network round trip a blocking request stalls for (the
   /// requester's side of a miss).  See stats.hpp for the modeled-time rules.
   void charge_rtt();
-  std::uint64_t vclock_ns() const { return vclock_ns_; }
-  void set_vclock_ns(std::uint64_t t) { vclock_ns_ = t; }
+  std::uint64_t vclock_ns() const {
+    if (time_mode_ == TimeMode::kWall) refresh_wall_clock();
+    return vclock_ns_;
+  }
+  void set_vclock_ns(std::uint64_t t) {
+    if (time_mode_ == TimeMode::kModeled) vclock_ns_ = t;
+  }
 
   Stats& stats() { return stats_; }
   const Stats& stats() const { return stats_; }
@@ -98,7 +123,7 @@ class Proc {
              std::uint64_t arg1 = 0) {
 #if ACE_OBS_TRACE
     if (trace_ != nullptr)
-      trace_->record({t0, vclock_ns_ - t0, kind, space, arg0, arg1});
+      trace_->record({t0, vclock_ns() - t0, kind, space, arg0, arg1});
 #else
     (void)kind; (void)t0; (void)space; (void)arg0; (void)arg1;
 #endif
@@ -138,10 +163,19 @@ class Proc {
   void dispatch(Message& m, std::uint64_t jitter_ns);
   /// The policy half of poll(): the installed policy picks the order.
   std::size_t poll_policy(std::deque<Message>&& batch);
+  /// TimeMode::kWall: vclock_ns_ mirrors the host monotonic clock.
+  void refresh_wall_clock() const {
+    vclock_ns_ = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - wall_epoch_)
+            .count());
+  }
 
   Machine* machine_ = nullptr;
   ProcId id_ = 0;
-  std::uint64_t vclock_ns_ = 0;
+  TimeMode time_mode_ = TimeMode::kModeled;
+  mutable std::uint64_t vclock_ns_ = 0;
+  std::chrono::steady_clock::time_point wall_epoch_{};
   Stats stats_;
   obs::TraceRing* trace_ = nullptr;
   void* ctx_[kCtxSlots] = {};
@@ -173,11 +207,61 @@ class Machine {
   using Handler = std::function<void(Proc&, Message&)>;
   using ProcFn = std::function<void(Proc&)>;
 
+  /// The factory: builds the requested backend.  With Backend::kProc this
+  /// FORKS — on return the calling process is rank 0 and ranks 1..N-1 are
+  /// children executing the same program from this call (SPMD).  Everything
+  /// after the Machine's destruction runs on rank 0 only.
+  static std::unique_ptr<Machine> create(const MachineOptions& opts);
+
+  /// Deprecated: thread-backend construction predating MachineOptions.
+  /// Equivalent to *create({.nprocs = nprocs, .cost_model = cost}); prefer
+  /// the factory, which can build either backend.
   explicit Machine(std::uint32_t nprocs, CostModel cost = {});
+
+  ~Machine();
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
 
   std::uint32_t nprocs() const { return static_cast<std::uint32_t>(procs_.size()); }
   Proc& proc(ProcId p) { return *procs_[p]; }
   const CostModel& cost() const { return cost_; }
+
+  Backend backend() const { return backend_; }
+  TimeMode time_mode() const { return time_mode_; }
+  /// True when processors are OS processes (a Transport is installed).
+  bool multiprocess() const { return transport_ != nullptr; }
+  /// This process's rank (0 on the thread backend and on rank 0).
+  ProcId self_rank() const { return self_rank_; }
+  /// True on the rank that should own shared side effects (writing bench
+  /// JSON / trace files, printing reports).  Always true on the thread
+  /// backend; rank 0 only on the process backend.
+  bool is_primary() const { return self_rank_ == 0; }
+
+  /// Tear down the rank topology early (the destructor calls this too).
+  /// On ranks != 0 this DOES NOT RETURN — the forked child exits with
+  /// child_exit_code() (so everything after it is rank-0-only code).  On
+  /// rank 0 it reaps every child and returns the number that exited
+  /// abnormally; tests assert the return value is 0 so a child-side
+  /// assertion failure fails the parent test.  No-op (returns 0) on the
+  /// thread backend; idempotent.
+  int finalize();
+
+  /// Consulted by finalize() on ranks != 0 for the child's exit status.
+  /// Tests point this at their framework's failure flag so a child-side
+  /// EXPECT failure turns into a nonzero exit that finalize() reports.
+  std::function<int()> child_exit_code;
+
+  /// Wall-clock duration of the last completed run(): on the process
+  /// backend the max across ranks (gathered in the run epilogue), else this
+  /// process's own measurement.  Valid on is_primary() after run().
+  std::uint64_t last_run_wall_ns() const { return last_run_wall_ns_; }
+
+  /// Collective blob gather at a quiescent point (between run()s): every
+  /// rank contributes `mine`; rank 0 gets all nprocs blobs (indexed by
+  /// rank), other ranks get only their own entry filled.  Process backend
+  /// only — the thread backend can read any processor's state directly.
+  std::vector<std::vector<std::byte>> gather_blobs(
+      const std::vector<std::byte>& mine);
 
   /// Register a handler; must happen before run().  Returns a stable id
   /// valid on every processor (SPMD: same handler table machine-wide).
@@ -239,13 +323,31 @@ class Machine {
     return h == barrier_arrive_ || h == barrier_release_;
   }
 
+  /// Run-finalize control traffic (rank_done / all_done): pure machinery
+  /// with no thread-backend counterpart, so it neither charges time nor
+  /// counts in message statistics (stats must agree across backends).
+  bool is_control_handler(HandlerId h) const {
+    return h == rank_done_ || h == all_done_;
+  }
+
   /// Watchdog for wait_until; generous because benches serialize many
   /// processors onto few host cores.  (Milliseconds so tests that exercise
   /// the deadlock report can keep their death-test children fast.)
+  /// Seeded from MachineOptions::watchdog_ms; writable for tests.
   std::chrono::milliseconds watchdog{120'000};
 
  private:
   friend class Proc;
+
+  Machine(const MachineOptions& opts, std::unique_ptr<Transport> transport);
+
+  /// run() on the process backend: fn executes on the calling thread for
+  /// this rank's processor; peers are reached through transport_.
+  void run_multiprocess(const ProcFn& fn);
+  /// Post-run stats exchange (process backend, successful runs only):
+  /// ranks != 0 ship {Stats, vclock, wall} to rank 0, which caches them so
+  /// aggregate_stats()/max_vclock_ns() stay local calls.
+  void exchange_run_stats(std::uint64_t my_wall_ns);
 
   CostModel cost_;
   std::vector<std::unique_ptr<Proc>> procs_;
@@ -255,6 +357,25 @@ class Machine {
   HandlerId barrier_arrive_ = 0;
   HandlerId barrier_release_ = 0;
   bool running_ = false;
+
+  // --- backend state ------------------------------------------------------
+  Backend backend_ = Backend::kThread;
+  TimeMode time_mode_ = TimeMode::kModeled;
+  std::unique_ptr<Transport> transport_;  ///< null on the thread backend
+  ProcId self_rank_ = 0;
+  bool finalized_ = false;
+
+  // Run-finalize protocol (process backend; single-threaded per rank).
+  HandlerId rank_done_ = 0;
+  HandlerId all_done_ = 0;
+  std::uint32_t done_arrivals_ = 0;  ///< rank 0: ranks finished (incl. self)
+  bool all_done_flag_ = false;       ///< ranks != 0: release received
+  bool any_rank_failed_ = false;     ///< set via rank_done/all_done args
+
+  // Rank-0 cache of remote per-rank results (filled by exchange_run_stats).
+  std::vector<Stats> remote_stats_;
+  std::vector<std::uint64_t> remote_vclock_ns_;
+  std::uint64_t last_run_wall_ns_ = 0;
 };
 
 }  // namespace ace::am

@@ -1,0 +1,546 @@
+#include "am/transport.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/prctl.h>
+#include <signal.h>
+#endif
+
+#include <array>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.hpp"
+
+namespace ace::am {
+
+namespace {
+
+// --- wire format -----------------------------------------------------------
+// frame   := u32 kind | u32 body_len | body
+// kAm     := WireHeader | payload bytes
+// kBlob   := opaque bytes (control plane)
+// Host byte order throughout: every rank is a fork of the same binary.
+
+enum Kind : std::uint32_t { kAm = 1, kBlob = 2, kBye = 3 };
+
+struct WireHeader {
+  std::uint32_t handler = 0;
+  std::uint32_t src = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t send_vtime_ns = 0;
+  std::uint64_t args[6] = {};
+};
+static_assert(sizeof(WireHeader) == 72, "wire header layout drifted");
+
+struct FrameHeader {
+  std::uint32_t kind = 0;
+  std::uint32_t body_len = 0;
+};
+
+void append(std::vector<std::byte>& buf, const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::byte*>(p);
+  buf.insert(buf.end(), b, b + n);
+}
+
+std::vector<std::byte> encode_message(const Message& m) {
+  WireHeader h;
+  h.handler = m.handler;
+  h.src = m.src;
+  h.seq = m.seq;
+  h.send_vtime_ns = m.send_vtime_ns;
+  for (std::size_t i = 0; i < m.args.size(); ++i) h.args[i] = m.args[i];
+  FrameHeader f{kAm,
+                static_cast<std::uint32_t>(sizeof h + m.payload.size())};
+  std::vector<std::byte> out;
+  out.reserve(sizeof f + f.body_len);
+  append(out, &f, sizeof f);
+  append(out, &h, sizeof h);
+  append(out, m.payload.data(), m.payload.size());
+  return out;
+}
+
+Message decode_message(const std::byte* body, std::size_t n) {
+  ACE_CHECK_MSG(n >= sizeof(WireHeader), "truncated AM frame");
+  WireHeader h;
+  std::memcpy(&h, body, sizeof h);
+  Message m;
+  m.handler = h.handler;
+  m.src = h.src;
+  m.seq = h.seq;
+  m.send_vtime_ns = h.send_vtime_ns;
+  for (std::size_t i = 0; i < m.args.size(); ++i) m.args[i] = h.args[i];
+  m.payload.assign(body + sizeof h, body + n);
+  return m;
+}
+
+std::chrono::steady_clock::time_point deadline_after(
+    std::chrono::milliseconds timeout) {
+  return std::chrono::steady_clock::now() + timeout;
+}
+
+int ms_until(std::chrono::steady_clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - std::chrono::steady_clock::now());
+  if (left.count() <= 0) return 0;
+  if (left.count() > 1000) return 1000;  // re-check peers at least once/sec
+  return static_cast<int>(left.count());
+}
+
+// --- the fork + socketpair mesh -------------------------------------------
+
+class SocketTransport final : public Transport {
+ public:
+  SocketTransport(ProcId self, std::uint32_t nprocs, std::vector<int> fds,
+                  std::vector<pid_t> pids, std::uint32_t watchdog_ms)
+      : self_(self),
+        nprocs_(nprocs),
+        fds_(std::move(fds)),
+        pids_(std::move(pids)),
+        watchdog_(watchdog_ms),
+        rx_(nprocs),
+        ctrl_(nprocs),
+        expect_seq_(nprocs, 0),
+        bye_(nprocs, false) {}
+
+  ~SocketTransport() override { finalize(0); }
+
+  ProcId self() const override { return self_; }
+  std::uint32_t nprocs() const override { return nprocs_; }
+  const char* name() const override { return "proc-socket"; }
+
+  void send(ProcId dst, const Message& m) override {
+    write_frame(dst, encode_message(m));
+  }
+
+  void send_blob(ProcId dst, const std::vector<std::byte>& blob) override {
+    FrameHeader f{kBlob, static_cast<std::uint32_t>(blob.size())};
+    std::vector<std::byte> out;
+    out.reserve(sizeof f + blob.size());
+    append(out, &f, sizeof f);
+    append(out, blob.data(), blob.size());
+    write_frame(dst, out);
+  }
+
+  void set_fence_predicate(std::function<bool(HandlerId)> pred) override {
+    is_fence_ = std::move(pred);
+  }
+
+  std::size_t drain(const MessageSink& sink) override {
+    std::size_t n = flush_spill(sink);
+    // Stage one full sweep of every peer.  If the sweep picked up a fence
+    // (barrier) frame, sweep again: everything sent before that fence was
+    // already buffered on its own stream when the fence was read (stream
+    // writes complete synchronously into the peer's kernel buffer), so one
+    // more pass closes the causal set.  Repeat while fences keep arriving.
+    std::vector<Message> staged;
+    bool saw_fence = true;
+    while (saw_fence) {
+      saw_fence = false;
+      const std::size_t before = staged.size();
+      for (ProcId p = 0; p < nprocs_; ++p)
+        if (fds_[p] >= 0)
+          read_available(p, [&](Message&& m) { staged.push_back(std::move(m)); });
+      for (std::size_t i = before; i < staged.size(); ++i)
+        if (is_fence(staged[i].handler)) saw_fence = true;
+    }
+    // Emit with fence frames deferred past the user frames of this drain:
+    // fd-scan order is not causal order (see set_fence_predicate), and
+    // delaying a fence is always legal — the receiver just leaves its
+    // barrier a moment later.  Per-sender FIFO still holds: a deferred
+    // fence is flushed before any later frame from its own sender.
+    std::vector<Message> fences;
+    for (auto& m : staged) {
+      if (is_fence(m.handler)) {
+        fences.push_back(std::move(m));
+        continue;
+      }
+      for (auto it = fences.begin(); it != fences.end();) {
+        if (it->src == m.src) {
+          sink(std::move(*it));
+          it = fences.erase(it);
+          n += 1;
+        } else {
+          ++it;
+        }
+      }
+      sink(std::move(m));
+      n += 1;
+    }
+    for (auto& f : fences) {
+      sink(std::move(f));
+      n += 1;
+    }
+    return n;
+  }
+
+  bool wait_readable(std::chrono::milliseconds timeout,
+                     const MessageSink& sink) override {
+    const auto deadline = deadline_after(timeout);
+    for (;;) {
+      if (drain(sink) != 0) return true;
+      if (!poll_in(deadline)) return false;
+    }
+  }
+
+  std::vector<std::byte> recv_blob(ProcId src,
+                                   std::chrono::milliseconds timeout,
+                                   const MessageSink& sink) override {
+    const auto deadline = deadline_after(timeout);
+    for (;;) {
+      flush_spill(sink);
+      if (!ctrl_[src].empty()) {
+        auto blob = std::move(ctrl_[src].front());
+        ctrl_[src].pop_front();
+        return blob;
+      }
+      read_available(src, sink);
+      if (!ctrl_[src].empty()) continue;
+      struct pollfd pfd = {fds_[src], POLLIN, 0};
+      const int r = ::poll(&pfd, 1, ms_until(deadline));
+      ACE_CHECK_MSG(r >= 0 || errno == EINTR, "poll failed in recv_blob");
+      ACE_CHECK_MSG(std::chrono::steady_clock::now() < deadline,
+                    "recv_blob timed out waiting for a peer rank");
+    }
+  }
+
+  int finalize(int exit_code) override {
+    if (finalized_) return 0;
+    finalized_ = true;
+    // Teardown must be orderly: a rank that closed its sockets unilaterally
+    // would race peers still draining their last frames (they would read
+    // EOF mid-protocol and report a crash).  So children announce "bye" to
+    // rank 0 and then wait for rank 0 — who closes the whole mesh only
+    // after every child said bye (or died) — to hang up on them first.
+    if (self_ != 0) {
+      if (fds_[0] >= 0) {
+        const FrameHeader bye{kBye, 0};
+        std::vector<std::byte> frame;
+        append(frame, &bye, sizeof bye);
+        write_frame(0, frame);
+        wait_peer_eof(fds_[0]);
+      }
+      for (int& fd : fds_)
+        if (fd >= 0) {
+          ::close(fd);
+          fd = -1;
+        }
+      // Forked rank: this process exists only to be a processor.  _Exit
+      // skips atexit/static destruction and, crucially, does not flush
+      // stdio buffers inherited from the pre-fork parent (which would
+      // duplicate the parent's pending output N times).
+      std::_Exit(exit_code);
+    }
+    for (ProcId r = 1; r < nprocs_; ++r) wait_bye(r);
+    for (int& fd : fds_)
+      if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+      }
+    int bad = 0;
+    for (pid_t pid : pids_) {
+      int status = 0;
+      pid_t r;
+      do {
+        r = ::waitpid(pid, &status, 0);
+      } while (r < 0 && errno == EINTR);
+      if (r < 0) continue;  // already reaped
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::fprintf(stderr,
+                     "ace::am proc backend: child pid %d exited abnormally "
+                     "(status 0x%x)\n",
+                     static_cast<int>(pid), status);
+        bad += 1;
+      }
+    }
+    pids_.clear();
+    return bad;
+  }
+
+ private:
+  /// Per-peer receive reassembly: a byte buffer accumulating stream data
+  /// until complete frames can be cut off its front.
+  struct RxBuf {
+    std::vector<std::byte> buf;
+    std::size_t consumed = 0;  ///< parsed prefix (compacted lazily)
+
+    void compact() {
+      if (consumed == 0) return;
+      buf.erase(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(consumed));
+      consumed = 0;
+    }
+    std::size_t pending() const { return buf.size() - consumed; }
+    const std::byte* front() const { return buf.data() + consumed; }
+  };
+
+  bool is_fence(HandlerId h) const { return is_fence_ && is_fence_(h); }
+
+  std::size_t flush_spill(const MessageSink& sink) {
+    std::size_t n = 0;
+    while (!spill_.empty()) {
+      Message m = std::move(spill_.front());
+      spill_.pop_front();
+      sink(std::move(m));
+      n += 1;
+    }
+    return n;
+  }
+
+  /// Non-blocking read of everything available from peer `p`; complete AM
+  /// frames go to `sink`, control frames queue on ctrl_[p].
+  std::size_t read_available(ProcId p, const MessageSink& sink) {
+    RxBuf& rx = rx_[p];
+    char tmp[64 * 1024];
+    for (;;) {
+      const ssize_t r = ::recv(fds_[p], tmp, sizeof tmp, 0);
+      if (r > 0) {
+        append(rx.buf, tmp, static_cast<std::size_t>(r));
+        if (static_cast<std::size_t>(r) < sizeof tmp) break;
+        continue;
+      }
+      if (r == 0)
+        check_failed("socket transport", __FILE__, __LINE__,
+                     "peer rank closed the connection (did it crash?)");
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      check_failed("socket transport", __FILE__, __LINE__,
+                   "read from peer rank failed");
+    }
+    return parse_frames(p, sink);
+  }
+
+  std::size_t parse_frames(ProcId p, const MessageSink& sink) {
+    RxBuf& rx = rx_[p];
+    std::size_t delivered = 0;
+    while (rx.pending() >= sizeof(FrameHeader)) {
+      FrameHeader f;
+      std::memcpy(&f, rx.front(), sizeof f);
+      if (rx.pending() < sizeof f + f.body_len) break;
+      const std::byte* body = rx.front() + sizeof f;
+      if (f.kind == kAm) {
+        Message m = decode_message(body, f.body_len);
+        // The wire carries the sender's dense per-(src, dst) sequence
+        // number; a gap or reorder here is a transport bug, not a protocol
+        // bug, so it is checked at this layer.
+        expect_seq_[p] += 1;
+        ACE_CHECK_MSG(m.seq == expect_seq_[p],
+                      "per-sender FIFO violated on the socket transport");
+        sink(std::move(m));
+        delivered += 1;
+      } else if (f.kind == kBlob) {
+        ctrl_[p].emplace_back(body, body + f.body_len);
+      } else if (f.kind == kBye) {
+        bye_[p] = true;
+      } else {
+        check_failed("socket transport", __FILE__, __LINE__,
+                     "unknown frame kind on the wire");
+      }
+      rx.consumed += sizeof f + f.body_len;
+    }
+    rx.compact();
+    return delivered;
+  }
+
+  /// Rank 0, teardown: wait until child `r` announces bye, closes its end,
+  /// or the watchdog passes.  Tolerant by design — this runs on the report
+  /// path too, where the child may already be dead; the reap below is what
+  /// classifies child exits.
+  void wait_bye(ProcId r) {
+    if (fds_[r] < 0) return;
+    const auto deadline =
+        deadline_after(std::chrono::milliseconds{watchdog_});
+    while (!bye_[r]) {
+      struct pollfd pfd = {fds_[r], POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, ms_until(deadline));
+      if (pr < 0 && errno != EINTR) return;
+      if (std::chrono::steady_clock::now() >= deadline) return;
+      if (pr <= 0) continue;
+      char tmp[4096];
+      const ssize_t n = ::recv(fds_[r], tmp, sizeof tmp, 0);
+      if (n == 0) return;  // child hung up (crashed or already exiting)
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+        return;
+      }
+      append(rx_[r].buf, tmp, static_cast<std::size_t>(n));
+      // Residual frames ahead of the bye belong to a failed run that never
+      // quiesced; they have no consumer anymore, so scan-and-discard.
+      RxBuf& rx = rx_[r];
+      while (rx.pending() >= sizeof(FrameHeader)) {
+        FrameHeader f;
+        std::memcpy(&f, rx.front(), sizeof f);
+        if (rx.pending() < sizeof f + f.body_len) break;
+        if (f.kind == kBye) bye_[r] = true;
+        rx.consumed += sizeof f + f.body_len;
+      }
+      rx.compact();
+    }
+  }
+
+  /// Child, teardown: drain-and-discard until rank 0 closes the mesh (EOF)
+  /// or the watchdog passes.
+  void wait_peer_eof(int fd) {
+    const auto deadline =
+        deadline_after(std::chrono::milliseconds{watchdog_});
+    for (;;) {
+      struct pollfd pfd = {fd, POLLIN, 0};
+      const int pr = ::poll(&pfd, 1, ms_until(deadline));
+      if (pr < 0 && errno != EINTR) return;
+      if (std::chrono::steady_clock::now() >= deadline) return;
+      if (pr <= 0) continue;
+      char tmp[4096];
+      const ssize_t n = ::recv(fd, tmp, sizeof tmp, 0);
+      if (n == 0) return;
+      if (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)
+        return;
+    }
+  }
+
+  /// Block until any peer is readable or the deadline passes.
+  bool poll_in(std::chrono::steady_clock::time_point deadline) {
+    std::vector<struct pollfd> pfds;
+    pfds.reserve(nprocs_);
+    for (ProcId p = 0; p < nprocs_; ++p)
+      if (fds_[p] >= 0) pfds.push_back({fds_[p], POLLIN, 0});
+    for (;;) {
+      const int r = ::poll(pfds.data(), pfds.size(), ms_until(deadline));
+      if (r > 0) return true;
+      if (r < 0 && errno != EINTR)
+        check_failed("socket transport", __FILE__, __LINE__, "poll failed");
+      if (std::chrono::steady_clock::now() >= deadline) return false;
+    }
+  }
+
+  /// Write a whole frame.  On a full send buffer, drain incoming frames
+  /// into the spill queue while waiting for POLLOUT — the classic fix for
+  /// two ranks flooding each other past both kernel buffers.
+  void write_frame(ProcId dst, const std::vector<std::byte>& frame) {
+    ACE_CHECK_MSG(dst < nprocs_ && dst != self_ && fds_[dst] >= 0,
+                  "socket transport send to an invalid rank");
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      // MSG_NOSIGNAL: a dead peer must surface as a checkable error (EPIPE
+      // below), not kill this rank with SIGPIPE.
+      const ssize_t w = ::send(fds_[dst], frame.data() + off,
+                               frame.size() - off, MSG_NOSIGNAL);
+      if (w > 0) {
+        off += static_cast<std::size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // Receiver not keeping up: pull what peers have sent us (so they
+        // can make progress too), then wait for writability.
+        for (ProcId p = 0; p < nprocs_; ++p)
+          if (fds_[p] >= 0)
+            read_available(p, [this](Message&& m) {
+              spill_.push_back(std::move(m));
+            });
+        struct pollfd pfd = {fds_[dst], POLLOUT, 0};
+        const int r = ::poll(&pfd, 1, static_cast<int>(watchdog_));
+        ACE_CHECK_MSG(r != 0, "socket transport write stalled past watchdog");
+        continue;
+      }
+      check_failed("socket transport", __FILE__, __LINE__,
+                   "write to peer rank failed (peer crashed?)");
+    }
+  }
+
+  ProcId self_;
+  std::uint32_t nprocs_;
+  std::vector<int> fds_;     ///< fds_[p]: stream to rank p (-1 for self)
+  std::vector<pid_t> pids_;  ///< rank 0 only: children, ranks 1..N-1
+  std::uint32_t watchdog_;
+  std::vector<RxBuf> rx_;
+  std::vector<std::deque<std::vector<std::byte>>> ctrl_;
+  std::vector<std::uint64_t> expect_seq_;  ///< last AM seq seen per sender
+  std::deque<Message> spill_;  ///< messages drained during a blocked write
+  std::vector<bool> bye_;      ///< rank 0: which children announced teardown
+  std::function<bool(HandlerId)> is_fence_;  ///< barrier-handler classifier
+  bool finalized_ = false;
+};
+
+void set_socket_options(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ACE_CHECK_MSG(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                "cannot make transport socket non-blocking");
+  // Bigger kernel buffers shrink the window where write_frame has to spill;
+  // best-effort (capped by wmem_max without privileges).
+  int sz = 1 << 20;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &sz, sizeof sz);
+  (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &sz, sizeof sz);
+}
+
+}  // namespace
+
+std::unique_ptr<Transport> make_socket_transport(std::uint32_t nprocs,
+                                                 std::uint32_t watchdog_ms) {
+  ACE_CHECK_MSG(nprocs >= 1, "socket transport needs at least one rank");
+  ACE_CHECK_MSG(nprocs <= 64,
+                "socket transport mesh capped at 64 ranks (fd budget)");
+  // Full mesh of stream socketpairs, created BEFORE fork so every rank
+  // inherits every endpoint and just closes the ones it does not own.
+  // mesh[i][j] (i < j): end [0] belongs to rank i, end [1] to rank j.
+  std::vector<std::vector<std::array<int, 2>>> mesh(nprocs);
+  for (std::uint32_t i = 0; i < nprocs; ++i) {
+    mesh[i].resize(nprocs, {-1, -1});
+    for (std::uint32_t j = i + 1; j < nprocs; ++j) {
+      int sv[2];
+      ACE_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+                    "socketpair failed (fd limit? try fewer ranks)");
+      mesh[i][j] = {sv[0], sv[1]};
+    }
+  }
+
+  // Pending stdio output would be duplicated into every child; flush first.
+  std::fflush(nullptr);
+
+  ProcId self = 0;
+  std::vector<pid_t> pids;
+  for (std::uint32_t r = 1; r < nprocs; ++r) {
+    const pid_t pid = ::fork();
+    ACE_CHECK_MSG(pid >= 0, "fork failed for socket-transport rank");
+    if (pid == 0) {
+      self = r;
+      pids.clear();
+#if defined(__linux__)
+      // If the parent (rank 0) dies, take the whole job down with it
+      // instead of leaving orphan ranks spinning in wait_for_mail.
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+      break;
+    }
+    pids.push_back(pid);
+  }
+
+  // Keep only this rank's endpoints; close the rest of the mesh.
+  std::vector<int> fds(nprocs, -1);
+  for (std::uint32_t i = 0; i < nprocs; ++i)
+    for (std::uint32_t j = i + 1; j < nprocs; ++j) {
+      const auto [a, b] = mesh[i][j];
+      if (self == i) {
+        fds[j] = a;
+        ::close(b);
+      } else if (self == j) {
+        fds[i] = b;
+        ::close(a);
+      } else {
+        ::close(a);
+        ::close(b);
+      }
+    }
+  for (std::uint32_t p = 0; p < nprocs; ++p)
+    if (fds[p] >= 0) set_socket_options(fds[p]);
+
+  return std::make_unique<SocketTransport>(self, nprocs, std::move(fds),
+                                           std::move(pids), watchdog_ms);
+}
+
+}  // namespace ace::am

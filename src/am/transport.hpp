@@ -1,0 +1,104 @@
+// The transport seam under Proc::send / Proc::poll.
+//
+// The thread backend needs no transport: a send is a locked push into the
+// destination's in-memory mailbox.  Every other backend plugs in here: a
+// Transport carries serialized Messages between ranks, and the Machine's
+// send/poll/wait_for_mail paths route through it when one is installed.
+//
+// The delivery contract a transport must honor (established by the PR-3
+// chaos/replay work, verified by the cross-backend conformance suite in
+// tests/test_transport.cpp):
+//
+//   * per-sender FIFO: messages from one sender are delivered to a given
+//     destination in send order (the dense per-(src, dst) Message::seq is
+//     carried on the wire and re-checked at the receiver);
+//   * completeness: no message is dropped or duplicated; the barrier flush
+//     lemma (DESIGN.md, "Delivery model") then follows from FIFO plus the
+//     centralized barrier protocol riding the same channel;
+//   * liveness: a rank blocked in wait_for_mail wakes when a frame arrives.
+//
+// SocketTransport implements the contract with a full mesh of Unix-domain
+// stream socketpairs created before fork: one ordered byte stream per rank
+// pair, so per-sender FIFO is inherited from the kernel.  Frames are
+// length-prefixed; partial reads reassemble per peer.  A small control
+// plane (blobs) rides the same sockets for post-run stats gathers — legal
+// only at quiescent points (after run()'s closing barriers), where the
+// flush lemma guarantees no AM frame is still in flight.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "am/message.hpp"
+
+namespace ace::am {
+
+/// Delivery callback: hand a deserialized message to the owning Proc's
+/// mailbox (the Machine stamps arrival order there, same as a local send).
+using MessageSink = std::function<void(Message&&)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual ProcId self() const = 0;
+  virtual std::uint32_t nprocs() const = 0;
+  virtual const char* name() const = 0;
+
+  /// Install the fence classifier (true for barrier-protocol handlers).
+  /// Socket fd-scan order is not causal order: a barrier release read off
+  /// rank 0's stream may precede user frames from other peers that were
+  /// sent strictly before it.  The delivery layer's fence semantics (and
+  /// so the flush lemma under a reordering policy) assume fences arrive
+  /// after everything sent before them, so a transport must re-establish
+  /// that order at drain time.  Default: no classifier, no reordering.
+  virtual void set_fence_predicate(std::function<bool(HandlerId)>) {}
+
+  /// Serialize and ship one active message to `dst` (!= self).  Blocks only
+  /// if the peer's receive window is full, in which case incoming frames
+  /// keep being drained (into an internal spill queue) so two ranks
+  /// flooding each other cannot write-write deadlock.
+  virtual void send(ProcId dst, const Message& m) = 0;
+
+  /// Deliver every already-arrived message to `sink` without blocking.
+  /// Returns the number delivered.
+  virtual std::size_t drain(const MessageSink& sink) = 0;
+
+  /// Block until at least one message has been delivered to `sink` or the
+  /// timeout expires.  Returns false on timeout (the caller escalates to
+  /// the deadlock report).
+  virtual bool wait_readable(std::chrono::milliseconds timeout,
+                             const MessageSink& sink) = 0;
+
+  // --- control plane (rank-0 gathers at quiescent points) -----------------
+
+  /// Ship an opaque blob to `dst` (same ordered channel as messages).
+  virtual void send_blob(ProcId dst, const std::vector<std::byte>& blob) = 0;
+
+  /// Block until the next *control* blob from `src` arrives.  AM frames
+  /// that arrive first are delivered to `sink` (they belong to the previous
+  /// epoch and must not be lost).  Aborts on timeout or peer death.
+  virtual std::vector<std::byte> recv_blob(ProcId src,
+                                           std::chrono::milliseconds timeout,
+                                           const MessageSink& sink) = 0;
+
+  /// Tear down the rank topology.  On ranks != 0 this DOES NOT RETURN: the
+  /// forked child exits with `exit_code` (after closing its sockets).  On
+  /// rank 0 it closes sockets, reaps every child, and returns the number
+  /// that exited abnormally (nonzero status or signal).  Idempotent.
+  virtual int finalize(int exit_code) = 0;
+};
+
+/// Build the fork + socketpair-mesh transport.  MUST be called before the
+/// calling process spawns threads (fork only replicates the calling
+/// thread).  On return, the calling process is rank 0 and ranks 1..N-1 are
+/// live children executing the same program from this point (SPMD).
+std::unique_ptr<Transport> make_socket_transport(std::uint32_t nprocs,
+                                                 std::uint32_t watchdog_ms);
+
+}  // namespace ace::am

@@ -53,10 +53,13 @@ CrlRuntime::CrlRuntime(Machine& machine) : machine_(machine) {
   h_gather_ = machine_.register_handler([](Proc& p, Message& m) {
     CrlProc& cp = cproc_of(p);
     cp.coll_.arrived += 1;
-    if (m.args[1] == 0)
-      cp.coll_.sum += bits_double(m.args[0]);
-    else
+    if (m.args[1] == 0) {
+      auto& ds = cp.coll_.dsum;
+      if (ds.size() < p.nprocs()) ds.resize(p.nprocs(), 0.0);
+      ds[m.src] = bits_double(m.args[0]);
+    } else {
       cp.coll_.min = std::min(cp.coll_.min, m.args[0]);
+    }
   }, "crl.gather");
 }
 
@@ -80,6 +83,23 @@ CrlStats CrlRuntime::aggregate_stats() const {
   CrlStats s;
   for (const auto& p : procs_)
     if (p) s.merge(p->stats_);
+  if (machine_.multiprocess()) {
+    // Collective on the process backend (same contract as the Ace
+    // runtime's aggregators): rank 0 returns the machine-wide merge.
+    std::vector<std::byte> mine(sizeof(CrlStats));
+    std::memcpy(mine.data(), &s, sizeof s);
+    const auto blobs = machine_.gather_blobs(mine);
+    if (machine_.is_primary()) {
+      CrlStats total;
+      for (const auto& b : blobs) {
+        CrlStats c;
+        ACE_CHECK(b.size() == sizeof c);
+        std::memcpy(&c, b.data(), sizeof c);
+        total.merge(c);
+      }
+      return total;
+    }
+  }
   return s;
 }
 
@@ -562,11 +582,16 @@ rid_t CrlProc::bcast_region(rid_t id, ProcId root) {
 
 double CrlProc::allreduce_sum(double v) {
   if (me() == 0) {
-    coll_.sum += v;
+    auto& ds = coll_.dsum;
+    if (ds.size() < nprocs()) ds.resize(nprocs(), 0.0);
+    ds[0] = v;
     coll_.arrived += 1;
     proc_.wait_until([this] { return coll_.arrived == nprocs(); });
-    v = coll_.sum;
-    coll_.sum = 0;
+    // Rank-ordered fold, same determinism contract as the Ace runtime's.
+    double sum = 0;
+    for (ProcId r = 0; r < nprocs(); ++r) sum += coll_.dsum[r];
+    v = sum;
+    coll_.dsum.clear();
     coll_.arrived = 0;
   } else {
     proc_.send(0, rt_.h_gather_, {double_bits(v), 0});

@@ -174,7 +174,10 @@ class CrlProc {
     bool flag = false;
     std::vector<std::byte> buf;
     std::uint32_t arrived = 0;
-    double sum = 0;
+    // Per-source-rank allreduce_sum slots, folded in rank order at proc 0
+    // (bit-identical results across delivery schedules and backends; same
+    // scheme as the Ace runtime's).
+    std::vector<double> dsum;
     std::uint64_t min = UINT64_MAX;
   } coll_;
 };

@@ -489,7 +489,8 @@ TEST(Interp, ExecutesArithmeticAndLoops) {
   b.store(r, z, acc);
   const Function f = annotate(b.f);
 
-  am::Machine machine(1);
+  auto machine_ptr = am::Machine::create({.nprocs = 1});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   rt.run([&](RuntimeProc& rp) {
     KernelArgs args;
@@ -512,7 +513,8 @@ TEST(Interp, ZeroTripLoopSkipsBody) {
   b.f.emit({.op = Op::kCharge, .imm = 1'000'000});
   b.loop_end();
   const Function f = annotate(b.f);
-  am::Machine machine(1);
+  auto machine_ptr = am::Machine::create({.nprocs = 1});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   rt.run([&](RuntimeProc& rp) {
     const auto t0 = rp.proc().vclock_ns();
@@ -546,7 +548,8 @@ TEST_P(KernelEquivalence, SameChecksumAsBase) {
     if (level >= 3)
       f = opt_direct_calls(f, analyze(f, kc.space_protocols, reg()), reg(),
                            &rep);
-    am::Machine machine(kProcs);
+    auto machine_ptr = am::Machine::create({.nprocs = kProcs});
+    am::Machine& machine = *machine_ptr;
     Runtime rt(machine);
     std::vector<KernelArgs> args(kProcs);
     std::vector<double> sums(kProcs, 0);

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <algorithm>
 
 #include "adapt/advisor.hpp"
@@ -19,9 +21,13 @@ using adapt::Decision;
 using adapt::Signature;
 
 struct Fixture {
-  am::Machine machine;
+  std::unique_ptr<am::Machine> machine_ptr;
+  am::Machine& machine;
   Runtime rt;
-  explicit Fixture(std::uint32_t procs) : machine(procs), rt(machine) {}
+  explicit Fixture(std::uint32_t procs)
+      : machine_ptr(am::Machine::create({.nprocs = procs})),
+        machine(*machine_ptr),
+        rt(machine) {}
 };
 
 /// Producer/consumer setup: proc 0 owns `n` regions in space `s`, everyone
@@ -359,6 +365,39 @@ TEST(AdaptAdvisor, ReportJsonRoundTrip) {
   EXPECT_NE(json.find("\"decisions\""), std::string::npos);
   EXPECT_NE(json.find("\"predicted_ns\""), std::string::npos);
   EXPECT_NE(json.find("\"window_ns\""), std::string::npos);
+}
+
+// --- the consolidated space-creation surface ------------------------------
+
+TEST(SpaceOptions, OneOverloadCoversAllThreeAdvisorModes) {
+  Fixture f(2);
+  f.rt.run([&](RuntimeProc& rp) {
+    // kOff: a plain space on the requested protocol, no advisor attached.
+    const SpaceId plain = adapt::new_space(
+        rp, {.protocol = proto_names::kDynamicUpdate});
+    EXPECT_EQ(rp.space(plain).protocol_name(), proto_names::kDynamicUpdate);
+    // kAdvise: record-only advisor.
+    const SpaceId advised =
+        adapt::new_space(rp, {.advisor = ace::SpaceOptions::Advisor::kAdvise});
+    // kAuto: executing advisor (Ace_AutoSpace semantics).
+    AdvisorOptions aopts;
+    aopts.min_window = 2;
+    const SpaceId autos =
+        adapt::new_space(rp, {.advisor = ace::SpaceOptions::Advisor::kAuto,
+                              .advisor_options = aopts});
+    auto ptrs = pc_setup(rp, autos, 8);
+    for (std::uint64_t r = 1; r <= 10; ++r) pc_round(rp, autos, ptrs, r);
+    (void)plain;
+    (void)advised;
+  });
+  EXPECT_EQ(adapt::find_advisor(f.rt, 1), nullptr);  // kOff attached nothing
+  Advisor* rec = adapt::find_advisor(f.rt, 2);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_FALSE(rec->options().execute);  // kAdvise records only
+  Advisor* ex = adapt::find_advisor(f.rt, 3);
+  ASSERT_NE(ex, nullptr);
+  EXPECT_TRUE(ex->options().execute);
+  EXPECT_EQ(ex->options().min_window, 2u);
 }
 
 // --- the core collective the advisor rides on ----------------------------

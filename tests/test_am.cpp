@@ -20,19 +20,22 @@ using ace::am::Proc;
 using ace::am::ProcId;
 
 TEST(Machine, RunsEveryProcessorExactlyOnce) {
-  Machine m(8);
+  auto m_ptr = Machine::create({.nprocs = 8});
+  Machine& m = *m_ptr;
   std::vector<int> hits(8, 0);
   m.run([&](Proc& p) { hits[p.id()] += 1; });
   for (int h : hits) EXPECT_EQ(h, 1);
 }
 
 TEST(Machine, SelfReturnsBoundProc) {
-  Machine m(4);
+  auto m_ptr = Machine::create({.nprocs = 4});
+  Machine& m = *m_ptr;
   m.run([&](Proc& p) { EXPECT_EQ(&Machine::self(), &p); });
 }
 
 TEST(Machine, MessageDeliveredOnPoll) {
-  Machine m(2);
+  auto m_ptr = Machine::create({.nprocs = 2});
+  Machine& m = *m_ptr;
   std::vector<std::uint64_t> got(2, 0);
   const auto h = m.register_handler(
       [&](Proc& self, Message& msg) { got[self.id()] = msg.args[0]; });
@@ -48,7 +51,8 @@ TEST(Machine, MessageDeliveredOnPoll) {
 }
 
 TEST(Machine, PayloadRoundTrip) {
-  Machine m(2);
+  auto m_ptr = Machine::create({.nprocs = 2});
+  Machine& m = *m_ptr;
   std::vector<std::byte> received;
   const auto h = m.register_handler(
       [&](Proc&, Message& msg) { received = std::move(msg.payload); });
@@ -67,7 +71,8 @@ TEST(Machine, PayloadRoundTrip) {
 }
 
 TEST(Machine, FifoPerMailboxFromOneSender) {
-  Machine m(2);
+  auto m_ptr = Machine::create({.nprocs = 2});
+  Machine& m = *m_ptr;
   std::vector<std::uint64_t> order;
   const auto h = m.register_handler(
       [&](Proc&, Message& msg) { order.push_back(msg.args[0]); });
@@ -83,7 +88,8 @@ TEST(Machine, FifoPerMailboxFromOneSender) {
 
 TEST(Machine, BarrierSynchronizesAllProcs) {
   constexpr int kProcs = 8;
-  Machine m(kProcs);
+  auto m_ptr = Machine::create({.nprocs = kProcs});
+  Machine& m = *m_ptr;
   std::atomic<int> phase0{0};
   std::vector<int> seen_after(kProcs, -1);
   m.run([&](Proc& p) {
@@ -96,7 +102,8 @@ TEST(Machine, BarrierSynchronizesAllProcs) {
 }
 
 TEST(Machine, RepeatedBarriers) {
-  Machine m(4);
+  auto m_ptr = Machine::create({.nprocs = 4});
+  Machine& m = *m_ptr;
   std::atomic<int> counter{0};
   m.run([&](Proc& p) {
     for (int i = 0; i < 50; ++i) {
@@ -114,7 +121,8 @@ TEST(Machine, RepeatedBarriers) {
 TEST(Machine, FlushLemma) {
   constexpr int kProcs = 8;
   constexpr int kRounds = 25;
-  Machine m(kProcs);
+  auto m_ptr = Machine::create({.nprocs = kProcs});
+  Machine& m = *m_ptr;
   std::vector<std::vector<int>> inbox(kProcs, std::vector<int>(kProcs, -1));
   const auto h = m.register_handler([&](Proc& self, Message& msg) {
     inbox[self.id()][msg.src] = static_cast<int>(msg.args[0]);
@@ -135,7 +143,8 @@ TEST(Machine, FlushLemma) {
 }
 
 TEST(Machine, StatsCountMessagesAndBytes) {
-  Machine m(2);
+  auto m_ptr = Machine::create({.nprocs = 2});
+  Machine& m = *m_ptr;
   const auto h = m.register_handler([](Proc&, Message&) {});
   m.run([&](Proc& p) {
     if (p.id() == 0) p.send(1, h, {}, std::vector<std::byte>(100));
@@ -149,7 +158,8 @@ TEST(Machine, StatsCountMessagesAndBytes) {
 }
 
 TEST(Machine, VirtualClockAdvancesWithCharges) {
-  Machine m(1);
+  auto m_ptr = Machine::create({.nprocs = 1});
+  Machine& m = *m_ptr;
   m.run([&](Proc& p) {
     const auto t0 = p.vclock_ns();
     p.charge(5000);
@@ -161,7 +171,8 @@ TEST(Machine, ReceiverChargesDispatchPerMessage) {
   // Modeled-time rule: receivers pay dispatch cost per message; they do NOT
   // inherit the sender's clock (scheduling skew must not leak into virtual
   // time) — clocks join only at barriers and via explicit charge_rtt stalls.
-  Machine m(2);
+  auto m_ptr = Machine::create({.nprocs = 2});
+  Machine& m = *m_ptr;
   std::uint64_t handler_time = ~0ull;
   const auto h = m.register_handler(
       [&](Proc& self, Message&) { handler_time = self.vclock_ns(); });
@@ -180,7 +191,8 @@ TEST(Machine, ReceiverChargesDispatchPerMessage) {
 }
 
 TEST(Machine, ChargeRttAdvancesClockByRoundTrip) {
-  Machine m(1);
+  auto m_ptr = Machine::create({.nprocs = 1});
+  Machine& m = *m_ptr;
   m.run([&](Proc& p) {
     const auto t0 = p.vclock_ns();
     p.charge_rtt();
@@ -190,7 +202,8 @@ TEST(Machine, ChargeRttAdvancesClockByRoundTrip) {
 }
 
 TEST(Machine, BarrierJoinsVirtualClocks) {
-  Machine m(4);
+  auto m_ptr = Machine::create({.nprocs = 4});
+  Machine& m = *m_ptr;
   m.run([&](Proc& p) {
     if (p.id() == 2) p.charge(10'000'000);
     p.barrier();
@@ -199,7 +212,8 @@ TEST(Machine, BarrierJoinsVirtualClocks) {
 }
 
 TEST(Machine, ResetStatsClearsCountersAndClocks) {
-  Machine m(2);
+  auto m_ptr = Machine::create({.nprocs = 2});
+  Machine& m = *m_ptr;
   const auto h = m.register_handler([](Proc&, Message&) {});
   m.run([&](Proc& p) {
     if (p.id() == 0) p.send(1, h, {});
@@ -211,7 +225,8 @@ TEST(Machine, ResetStatsClearsCountersAndClocks) {
 }
 
 TEST(Machine, MultipleRunsPreserveMachine) {
-  Machine m(4);
+  auto m_ptr = Machine::create({.nprocs = 4});
+  Machine& m = *m_ptr;
   int runs = 0;
   for (int i = 0; i < 3; ++i)
     m.run([&](Proc& p) {
@@ -224,7 +239,8 @@ TEST(Machine, MultipleRunsPreserveMachine) {
 TEST(Machine, RunRethrowsProcFnException) {
   // A throwing ProcFn used to leave the other processors parked in the
   // closing barrier forever; run() must join everyone and rethrow.
-  Machine m(4);
+  auto m_ptr = Machine::create({.nprocs = 4});
+  Machine& m = *m_ptr;
   EXPECT_THROW(
       m.run([](Proc& p) {
         if (p.id() == 2) throw std::runtime_error("app failure");
@@ -238,7 +254,8 @@ TEST(Machine, BarrierEpochContinuityAcrossRuns) {
   // counters carry across runs; a stale epoch would let a proc sail through
   // a barrier opened in the previous run).
   constexpr int kProcs = 4;
-  Machine m(kProcs);
+  auto m_ptr = Machine::create({.nprocs = kProcs});
+  Machine& m = *m_ptr;
   std::atomic<int> counter{0};
   for (int run = 0; run < 3; ++run) {
     m.run([&](Proc& p) {
@@ -256,7 +273,8 @@ TEST(Machine, ResetStatsMakesRepsReproducible) {
   // The bench-rep pattern: run, reset_stats, run again — the second rep's
   // modeled time and message counts must equal the first's (nothing from
   // rep 1 may leak into rep 2's clocks or counters).
-  Machine m(3);
+  auto m_ptr = Machine::create({.nprocs = 3});
+  Machine& m = *m_ptr;
   std::vector<std::uint64_t> got(3, 0);
   const auto h = m.register_handler(
       [&](Proc& self, Message&) { got[self.id()] += 1; });
@@ -282,7 +300,8 @@ TEST(Machine, ResetStatsMakesRepsReproducible) {
 TEST(Machine, HandlerMaySendMessages) {
   // A handler at proc 1 forwards to proc 2 (the home-forwarding pattern in
   // the update protocols).
-  Machine m(3);
+  auto m_ptr = Machine::create({.nprocs = 3});
+  Machine& m = *m_ptr;
   std::uint64_t final_val = 0;
   ace::am::HandlerId h2 = 0;
   const auto h1 = m.register_handler(

@@ -17,7 +17,8 @@ using namespace apps;
 
 template <class Fn>
 void run_ace(std::uint32_t procs, Fn&& fn) {
-  ace::am::Machine machine(procs);
+  auto machine_ptr = ace::am::Machine::create({.nprocs = procs});
+  ace::am::Machine& machine = *machine_ptr;
   ace::Runtime rt(machine);
   rt.run([&](ace::RuntimeProc& rp) {
     AceApi api(rp);
@@ -27,7 +28,8 @@ void run_ace(std::uint32_t procs, Fn&& fn) {
 
 template <class Fn>
 void run_crl(std::uint32_t procs, Fn&& fn) {
-  ace::am::Machine machine(procs);
+  auto machine_ptr = ace::am::Machine::create({.nprocs = procs});
+  ace::am::Machine& machine = *machine_ptr;
   crl::CrlRuntime rt(machine);
   rt.run([&](crl::CrlProc& cp) {
     CrlApi api(cp);
@@ -125,7 +127,8 @@ TEST(Em3d, StaticUpdateUsesFewerMessagesThanSC) {
   p.steps = 10;
   std::uint64_t msgs_sc = 0, msgs_static = 0;
   {
-    ace::am::Machine machine(4);
+    auto machine_ptr = ace::am::Machine::create({.nprocs = 4});
+    ace::am::Machine& machine = *machine_ptr;
     ace::Runtime rt(machine);
     p.protocol = "SC";
     rt.run([&](ace::RuntimeProc& rp) {
@@ -135,7 +138,8 @@ TEST(Em3d, StaticUpdateUsesFewerMessagesThanSC) {
     msgs_sc = machine.aggregate_stats().msgs_sent;
   }
   {
-    ace::am::Machine machine(4);
+    auto machine_ptr = ace::am::Machine::create({.nprocs = 4});
+    ace::am::Machine& machine = *machine_ptr;
     ace::Runtime rt(machine);
     p.protocol = "StaticUpdate";
     rt.run([&](ace::RuntimeProc& rp) {

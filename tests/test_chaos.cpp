@@ -91,7 +91,8 @@ Outcome run_gated_all_to_all(Machine& m) {
 
 TEST(Chaos, PreservesPerSenderFifo) {
   for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
-    Machine m(kProcs);
+    auto m_ptr = Machine::create({.nprocs = kProcs});
+    Machine& m = *m_ptr;
     ChaosOptions opt;
     opt.seed = seed;
     m.set_chaos(opt);
@@ -143,7 +144,8 @@ TEST(Chaos, ActuallyReordersAcrossSenders) {
   // order different from that grouping can only come from the policy.
   bool reordered = false;
   for (std::uint64_t seed : {1u, 2u, 3u}) {
-    Machine m(kProcs);
+    auto m_ptr = Machine::create({.nprocs = kProcs});
+    Machine& m = *m_ptr;
     ChaosOptions opt;
     opt.seed = seed;
     m.set_chaos(opt);
@@ -189,7 +191,8 @@ TEST(Chaos, PreservesFlushLemma) {
   constexpr int kP = 6;
   constexpr int kRounds = 10;
   for (std::uint64_t seed : {7u, 8u, 9u}) {
-    Machine m(kP);
+    auto m_ptr = Machine::create({.nprocs = kP});
+    Machine& m = *m_ptr;
     ChaosOptions opt;
     opt.seed = seed;
     opt.p_hold = 0.5;  // harsher than the default
@@ -233,7 +236,8 @@ TEST(Replay, ReproducesLogAndClocksBitForBit) {
 TEST(Replay, LogFileRoundTrip) {
   ChaosOptions opt;
   opt.seed = 77;
-  Machine m(kProcs);
+  auto m_ptr = Machine::create({.nprocs = kProcs});
+  Machine& m = *m_ptr;
   m.set_chaos(opt);
   const Outcome out = run_gated_all_to_all(m);
   std::stringstream ss;
@@ -246,7 +250,8 @@ TEST(Replay, LogFileRoundTrip) {
 // version of this lives in tools/acefuzz; this is the in-tree smoke).
 TEST(Chaos, ProtocolSweepStaysCorrect) {
   for (std::uint64_t seed : {1u, 2u}) {
-    Machine m(kProcs);
+    auto m_ptr = Machine::create({.nprocs = kProcs});
+    Machine& m = *m_ptr;
     ChaosOptions opt;
     opt.seed = seed;
     m.set_chaos(opt);
@@ -282,7 +287,8 @@ TEST(DeadlockDeath, WatchdogPrintsStructuredReport) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   EXPECT_DEATH(
       {
-        Machine m(2);
+        auto m_ptr = Machine::create({.nprocs = 2});
+        Machine& m = *m_ptr;
         m.watchdog = std::chrono::milliseconds(300);
         ace::Runtime rt(m);
         rt.run([](ace::RuntimeProc& rp) {
@@ -298,7 +304,8 @@ TEST(DeadlockDeath, WatchdogPrintsStructuredReport) {
 // Regression for the trace-after-move bug: kAmDispatch must record the
 // payload size even when the handler moves the payload out.
 TEST(Trace, DispatchRecordsPayloadBytesAfterHandlerMovesPayload) {
-  Machine m(2);
+  auto m_ptr = Machine::create({.nprocs = 2});
+  Machine& m = *m_ptr;
   m.enable_tracing(64);
   std::vector<std::byte> sink;
   const auto h = m.register_handler(

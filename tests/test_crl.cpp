@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <algorithm>
 
 #include "common/rng.hpp"
@@ -14,9 +16,13 @@ namespace {
 using namespace crl;
 
 struct Fixture {
-  Machine machine;
+  std::unique_ptr<Machine> machine_ptr;
+  Machine& machine;
   CrlRuntime rt;
-  explicit Fixture(std::uint32_t procs) : machine(procs), rt(machine) {}
+  explicit Fixture(std::uint32_t procs)
+      : machine_ptr(Machine::create({.nprocs = procs})),
+        machine(*machine_ptr),
+        rt(machine) {}
 };
 
 rid_t shared_rgn(CrlProc& cp, std::uint32_t size, ProcId home) {

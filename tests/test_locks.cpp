@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "ace/runtime.hpp"
 #include "common/rng.hpp"
 
@@ -13,9 +15,13 @@ namespace {
 using namespace ace;
 
 struct Fixture {
-  am::Machine machine;
+  std::unique_ptr<am::Machine> machine_ptr;
+  am::Machine& machine;
   Runtime rt;
-  explicit Fixture(std::uint32_t procs) : machine(procs), rt(machine) {}
+  explicit Fixture(std::uint32_t procs)
+      : machine_ptr(am::Machine::create({.nprocs = procs})),
+        machine(*machine_ptr),
+        rt(machine) {}
 };
 
 RegionId shared_region(RuntimeProc& rp, SpaceId sp, std::uint32_t size,

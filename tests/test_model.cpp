@@ -31,7 +31,8 @@ class EpochModel : public ::testing::TestWithParam<ModelParams> {};
 // (the contract every library protocol supports).
 TEST_P(EpochModel, AgreesWithSequentialModel) {
   const auto prm = GetParam();
-  am::Machine machine(prm.procs);
+  auto machine_ptr = am::Machine::create({.nprocs = prm.procs});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   rt.run([&](RuntimeProc& rp) {
     const SpaceId sp = rp.new_space(prm.protocol);
@@ -101,7 +102,8 @@ INSTANTIATE_TEST_SUITE_P(
 // The paper's machine size: 32 processors end to end.
 TEST(LargeMachine, ThirtyTwoProcessorsSC) {
   constexpr std::uint32_t kProcs = 32;
-  am::Machine machine(kProcs);
+  auto machine_ptr = am::Machine::create({.nprocs = kProcs});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   rt.run([](RuntimeProc& rp) {
     RegionId id = dsm::kInvalidRegion;
@@ -123,7 +125,8 @@ TEST(LargeMachine, ThirtyTwoProcessorsSC) {
 
 TEST(LargeMachine, ThirtyTwoProcessorsStaticUpdate) {
   constexpr std::uint32_t kProcs = 32;
-  am::Machine machine(kProcs);
+  auto machine_ptr = am::Machine::create({.nprocs = kProcs});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   rt.run([](RuntimeProc& rp) {
     const SpaceId sp = rp.new_space(proto_names::kStaticUpdate);
@@ -154,7 +157,8 @@ TEST(LargeMachine, ThirtyTwoProcessorsStaticUpdate) {
 // Modeled time sanity: barriers make virtual clocks agree, and the modeled
 // total dominates every component charge.
 TEST(CostAccounting, ClocksAgreeAtExit) {
-  am::Machine machine(6);
+  auto machine_ptr = am::Machine::create({.nprocs = 6});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   std::vector<std::uint64_t> clocks(6, 0);
   rt.run([&](RuntimeProc& rp) {
@@ -167,7 +171,8 @@ TEST(CostAccounting, ClocksAgreeAtExit) {
 }
 
 TEST(CostAccounting, MissesCostMoreThanHits) {
-  am::Machine machine(2);
+  auto machine_ptr = am::Machine::create({.nprocs = 2});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   std::vector<std::uint64_t> hit_cost(2, 0), miss_cost(2, 0);
   rt.run([&](RuntimeProc& rp) {

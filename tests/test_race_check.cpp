@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "ace/runtime.hpp"
 #include "protocols/blocks.hpp"
 #include "protocols/race_check.hpp"
@@ -13,9 +15,13 @@ using namespace ace;
 using protocols::RaceCheck;
 
 struct Fixture {
-  am::Machine machine;
+  std::unique_ptr<am::Machine> machine_ptr;
+  am::Machine& machine;
   Runtime rt;
-  explicit Fixture(std::uint32_t procs) : machine(procs), rt(machine) {}
+  explicit Fixture(std::uint32_t procs)
+      : machine_ptr(am::Machine::create({.nprocs = procs})),
+        machine(*machine_ptr),
+        rt(machine) {}
 };
 
 RegionId shared_region(RuntimeProc& rp, SpaceId sp, am::ProcId home) {

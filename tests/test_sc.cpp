@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include <tuple>
 #include <vector>
 
@@ -17,9 +19,13 @@ namespace {
 using namespace ace;
 
 struct Fixture {
-  am::Machine machine;
+  std::unique_ptr<am::Machine> machine_ptr;
+  am::Machine& machine;
   Runtime rt;
-  explicit Fixture(std::uint32_t procs) : machine(procs), rt(machine) {}
+  explicit Fixture(std::uint32_t procs)
+      : machine_ptr(am::Machine::create({.nprocs = procs})),
+        machine(*machine_ptr),
+        rt(machine) {}
 };
 
 /// Allocate one region at proc `home` and share its id with everyone.

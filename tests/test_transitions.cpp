@@ -45,7 +45,8 @@ class TransitionMatrix : public ::testing::TestWithParam<Pair> {};
 TEST_P(TransitionMatrix, DataSurvivesAndStaysCoherent) {
   const auto [from, to] = GetParam();
   constexpr std::uint32_t kProcs = 4;
-  am::Machine machine(kProcs);
+  auto machine_ptr = am::Machine::create({.nprocs = kProcs});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   rt.run([&, from = from, to = to](RuntimeProc& rp) {
     const SpaceId sp = rp.new_space(from);
@@ -125,7 +126,8 @@ class RemoteWriteTransition : public ::testing::TestWithParam<Pair> {};
 TEST_P(RemoteWriteTransition, RemoteWriteThenSwitchThenRead) {
   const auto [from, to] = GetParam();
   constexpr std::uint32_t kProcs = 3;
-  am::Machine machine(kProcs);
+  auto machine_ptr = am::Machine::create({.nprocs = kProcs});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   rt.run([&, from = from, to = to](RuntimeProc& rp) {
     const SpaceId sp = rp.new_space(from);
@@ -172,7 +174,8 @@ INSTANTIATE_TEST_SUITE_P(RemoteWriters, RemoteWriteTransition,
 // datum after every hop.
 TEST(TransitionChain, FullLibraryWalk) {
   constexpr std::uint32_t kProcs = 4;
-  am::Machine machine(kProcs);
+  auto machine_ptr = am::Machine::create({.nprocs = kProcs});
+  am::Machine& machine = *machine_ptr;
   Runtime rt(machine);
   rt.run([](RuntimeProc& rp) {
     const SpaceId sp = rp.new_space(proto_names::kSC);

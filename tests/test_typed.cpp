@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "ace/runtime.hpp"
 #include "ace/typed.hpp"
 
@@ -12,9 +14,13 @@ namespace {
 using namespace ace;
 
 struct Fixture {
-  am::Machine machine;
+  std::unique_ptr<am::Machine> machine_ptr;
+  am::Machine& machine;
   Runtime rt;
-  explicit Fixture(std::uint32_t procs) : machine(procs), rt(machine) {}
+  explicit Fixture(std::uint32_t procs)
+      : machine_ptr(am::Machine::create({.nprocs = procs})),
+        machine(*machine_ptr),
+        rt(machine) {}
 };
 
 TEST(Typed, GlobalPtrDefaultIsNull) {

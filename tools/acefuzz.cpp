@@ -522,8 +522,9 @@ void dump_logs_on_failure() {
 /// a protocol bug aborts (ACE_CHECK / watchdog) after the hook fires.
 void execute(const Scenario& sc, const FuzzOptions& o, std::uint64_t seed,
              const std::string& replay_file) {
-  Machine machine(o.procs);
-  machine.watchdog = std::chrono::milliseconds(o.watchdog_ms);
+  auto machine_ptr =
+      Machine::create({.nprocs = o.procs, .watchdog_ms = static_cast<std::uint32_t>(o.watchdog_ms)});
+  Machine& machine = *machine_ptr;
   if (!replay_file.empty()) {
     machine.set_replay(ace::am::read_delivery_logs(replay_file));
     g_dump_path[0] = '\0';  // a replay run doesn't re-dump
